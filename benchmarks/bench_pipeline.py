@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the substrate itself.
+
+Not paper artifacts — these measure the throughput of each pipeline
+stage (program generation, lowering, graph extraction, HLS flow, GNN
+forward/backward) so regressions in the supporting systems are visible
+independently of the table-level runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_synthetic_dataset
+from repro.frontend import lower_program
+from repro.graph import Batch
+from repro.gnn import GraphContext, GraphRegressor
+from repro.hls import run_hls
+from repro.ir import extract_cdfg
+from repro.ldrgen import GeneratorConfig, ProgramGenerator
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def cdfg_programs():
+    generator = ProgramGenerator(GeneratorConfig(mode="cdfg"), seed=3)
+    return [generator.generate() for _ in range(8)]
+
+
+@pytest.fixture(scope="module")
+def lowered(cdfg_programs):
+    return [lower_program(p) for p in cdfg_programs]
+
+
+@pytest.fixture(scope="module")
+def training_batch():
+    samples = build_synthetic_dataset("cdfg", 16, seed=5)
+    return Batch(samples)
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_generate_programs(benchmark):
+    generator = ProgramGenerator(GeneratorConfig(mode="cdfg"), seed=11)
+    benchmark(generator.generate)
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_lower_to_ir(benchmark, cdfg_programs):
+    programs = iter(cdfg_programs * 1000)
+    benchmark(lambda: lower_program(next(programs)))
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_extract_cdfg(benchmark, lowered):
+    functions = iter(lowered * 1000)
+    benchmark(lambda: extract_cdfg(next(functions)))
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_hls_flow(benchmark, lowered):
+    functions = iter(lowered * 1000)
+    benchmark(lambda: run_hls(next(functions)))
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_gnn_forward(benchmark, training_batch):
+    model = GraphRegressor(
+        "rgcn",
+        in_dim=training_batch.feature_dim,
+        hidden_dim=48,
+        num_layers=3,
+        num_edge_types=8,
+        rng=np.random.default_rng(0),
+    )
+    model.eval()
+    from repro.tensor import no_grad
+
+    def forward():
+        with no_grad():
+            return model(training_batch)
+
+    benchmark(forward)
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_gnn_forward_backward(benchmark, training_batch):
+    model = GraphRegressor(
+        "rgcn",
+        in_dim=training_batch.feature_dim,
+        hidden_dim=48,
+        num_layers=3,
+        num_edge_types=8,
+        rng=np.random.default_rng(0),
+    )
+    target = Tensor(np.log1p(training_batch.y))
+
+    def step():
+        model.zero_grad()
+        out = model(training_batch)
+        loss = ((out - target) ** 2).mean()
+        loss.backward()
+        return float(loss.data)
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_context_construction(benchmark, training_batch):
+    benchmark(lambda: GraphContext.from_batch(training_batch, 8))

@@ -1,0 +1,50 @@
+"""Benchmark: regenerate Table 2 — the 14-model off-the-shelf zoo.
+
+Paper reference values (MAPE, DFG/CDFG): GCN 16.3/25.3 DSP ... with PNA
+and RGCN the two best models and SGC/GAT the clear losers; every model
+is worse on CDFGs than DFGs. The bench asserts those *shape* properties
+rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import mape_summary
+from repro.experiments.table2 import render_table2, run_table2
+from repro.gnn.registry import ALL_MODEL_NAMES
+
+
+@pytest.mark.benchmark(group="table2", min_rounds=1, max_time=1)
+def test_table2_zoo_screening(benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: run_table2(scale, models=ALL_MODEL_NAMES, verbose=False),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table2(results))
+    benchmark.extra_info.update(mape_summary(results))
+
+    mean_over_targets = {
+        model: {d: float(np.mean(row)) for d, row in per.items()}
+        for model, per in results.items()
+    }
+    # Shape check 1: averaged over the zoo, CDFG prediction is harder
+    # than DFG (paper Section 5.2, "Different graphs: DFG vs CDFG").
+    dfg_avg = np.mean([m["dfg"] for m in mean_over_targets.values()])
+    cdfg_avg = np.mean([m["cdfg"] for m in mean_over_targets.values()])
+    assert cdfg_avg > dfg_avg, (
+        f"expected CDFG harder than DFG, got {cdfg_avg:.3f} vs {dfg_avg:.3f}"
+    )
+    # Shape check 2: the paper's winners (PNA, RGCN) rank in the better
+    # half of the zoo; its loser (SGC) ranks in the worse half (DFG set).
+    ranking = sorted(mean_over_targets, key=lambda m: mean_over_targets[m]["dfg"])
+    half = len(ranking) // 2
+    assert ranking.index("pna") < half or ranking.index("rgcn") < half, (
+        f"expected pna/rgcn in the top half, ranking: {ranking}"
+    )
+    assert ranking.index("sgc") >= half, (
+        f"expected sgc in the bottom half, ranking: {ranking}"
+    )

@@ -1,0 +1,49 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's evaluation artifacts
+(Tables 2-5 plus the ablation studies) at the scale selected by
+``REPRO_SCALE`` (default ``ci``). The measured "time" is the wall-clock
+cost of regenerating that table; the scientific output — the table in
+the paper's layout plus the ordering checks — is printed to stdout and
+attached to the benchmark's ``extra_info``.
+
+Run everything::
+
+    pytest benchmarks/ --benchmark-only
+
+Run one table::
+
+    pytest benchmarks/bench_table4.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def mape_summary(results: dict) -> dict:
+    """Flatten nested {model: {dataset: ndarray}} MAPEs for extra_info."""
+    flat = {}
+    for model, per_dataset in results.items():
+        if isinstance(per_dataset, np.ndarray):
+            flat[model] = [round(100 * float(v), 2) for v in per_dataset]
+            continue
+        for dataset, row in per_dataset.items():
+            if isinstance(row, np.ndarray):
+                flat[f"{model}/{dataset}"] = [
+                    round(100 * float(v), 2) for v in row
+                ]
+            elif isinstance(row, dict):
+                for inner, values in row.items():
+                    flat[f"{model}/{dataset}/{inner}"] = [
+                        round(100 * float(v), 2) for v in values
+                    ]
+    return flat

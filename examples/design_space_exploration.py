@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Design-space exploration with a pre-HLS QoR predictor.
+
+The paper motivates early prediction with agile design iteration: an
+architect sweeps a design knob and wants QoR feedback in seconds, not
+HLS-hours. This example sweeps the datapath bitwidth and unroll factor
+of a dot-product accelerator, predicts DSP/LUT/FF/CP for every variant
+with a GNN trained on synthetic programs, and checks the predicted
+Pareto ranking against the simulated implementation ground truth.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.dataset import build_graph, build_synthetic_dataset, split_dataset
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Decl,
+    For,
+    Function,
+    IntConst,
+    Program,
+    Return,
+    Var,
+)
+from repro.typesys import CArray, CInt
+from repro.models import OffTheShelfPredictor, PredictorConfig
+from repro.training import TrainConfig
+from repro.utils.tables import format_table
+
+
+def dot_kernel(width: int, unroll: int, length: int = 32) -> Program:
+    """Dot product with ``unroll`` parallel accumulators (manual unroll —
+    the classic HLS throughput/resource trade-off)."""
+    elem = CInt(width)
+    acc_t = CInt(min(2 * width, 64))
+    body = [Decl(f"acc{u}", acc_t, IntConst(0)) for u in range(unroll)]
+    body.append(
+        For("i", 0, length // unroll, 1, body=[
+            Assign(
+                Var(f"acc{u}"),
+                BinOp("+", Var(f"acc{u}"),
+                      BinOp("*",
+                            ArrayRef("a", BinOp("+", BinOp("*", Var("i"), IntConst(unroll)), IntConst(u))),
+                            ArrayRef("b", BinOp("+", BinOp("*", Var("i"), IntConst(unroll)), IntConst(u))))),
+            )
+            for u in range(unroll)
+        ])
+    )
+    total = Var("acc0")
+    for u in range(1, unroll):
+        total = BinOp("+", total, Var(f"acc{u}"))
+    body.append(Return(total))
+    fn = Function(
+        f"dot_w{width}_u{unroll}",
+        [("a", CArray(elem, length)), ("b", CArray(elem, length))],
+        acc_t,
+        body,
+    )
+    return Program(fn.name, [fn])
+
+
+def main() -> None:
+    print("training the off-the-shelf predictor on synthetic CDFGs ...")
+    dataset = build_synthetic_dataset("cdfg", 160, seed=0)
+    train, val, _ = split_dataset(dataset, seed=0)
+    predictor = OffTheShelfPredictor(PredictorConfig(
+        model_name="rgcn", hidden_dim=48, num_layers=3,
+        train=TrainConfig(epochs=30, batch_size=16, lr=3e-3),
+    ))
+    predictor.fit(train, val)
+
+    print("sweeping the design space (4 widths x 3 unroll factors) ...\n")
+    rows = []
+    predicted_dsp, actual_dsp = [], []
+    for width in (8, 16, 32, 64):
+        for unroll in (1, 2, 4):
+            variant = dot_kernel(width, unroll)
+            sample = build_graph(variant, kind="cdfg")
+            prediction = predictor.predict([sample])[0]
+            rows.append([
+                f"w={width} u={unroll}",
+                f"{prediction[0]:.1f} / {sample.y[0]:.0f}",
+                f"{prediction[1]:.0f} / {sample.y[1]:.0f}",
+                f"{prediction[2]:.0f} / {sample.y[2]:.0f}",
+                f"{prediction[3]:.2f} / {sample.y[3]:.2f}",
+            ])
+            predicted_dsp.append(prediction[0])
+            actual_dsp.append(sample.y[0])
+
+    print(format_table(
+        ["variant", "DSP pred/true", "LUT pred/true", "FF pred/true",
+         "CP pred/true"],
+        rows,
+        title="Design-space sweep (prediction vs simulated implementation)",
+    ))
+
+    # Rank agreement: does the predictor order variants like the flow does?
+    from scipy.stats import spearmanr
+
+    rho = spearmanr(predicted_dsp, actual_dsp).statistic
+    print(f"\nSpearman rank correlation on DSP across variants: {rho:.2f}")
+    print("(positive rank agreement means the predictor can steer DSE "
+          "without running HLS per variant)")
+
+
+if __name__ == "__main__":
+    main()

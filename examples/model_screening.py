@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Screen GNN architectures for HLS QoR prediction (mini Table 2).
+
+The paper's first contribution is a systematic comparison of 14 GNN
+architectures on the DFG dataset. This example screens a representative
+subset at demo scale and prints the ranking, illustrating the paper's
+takeaways: relational models (RGCN) and multi-aggregator models (PNA)
+beat plain convolutions, and over-simplified propagation (SGC) loses.
+
+Run:  python examples/model_screening.py
+"""
+
+import numpy as np
+
+from repro.dataset import build_synthetic_dataset, split_dataset
+from repro.models import OffTheShelfPredictor, PredictorConfig
+from repro.training import TrainConfig
+from repro.utils.tables import format_table
+
+MODELS = ("gcn", "sgc", "sage", "gin", "pna", "gat", "rgcn")
+
+
+def main() -> None:
+    dataset = build_synthetic_dataset("dfg", 200, seed=0)
+    train, val, test = split_dataset(dataset, seed=0)
+    print(f"dataset: {len(train)} train / {len(val)} val / {len(test)} test DFGs")
+
+    rows = []
+    for model_name in MODELS:
+        predictor = OffTheShelfPredictor(
+            PredictorConfig(
+                model_name=model_name,
+                hidden_dim=48,
+                num_layers=3,
+                train=TrainConfig(epochs=30, batch_size=16, lr=3e-3),
+            )
+        )
+        predictor.fit(train, val)
+        mape = predictor.evaluate(test)
+        rows.append((model_name.upper(), *[f"{100 * v:.1f}%" for v in mape],
+                     f"{100 * float(np.mean(mape)):.1f}%"))
+        print(f"trained {model_name:6s} mean MAPE {100 * float(np.mean(mape)):.1f}%")
+
+    rows.sort(key=lambda r: float(r[-1].rstrip("%")))
+    print()
+    print(format_table(
+        ["Model", "DSP", "LUT", "FF", "CP", "mean"],
+        rows,
+        title="Off-the-shelf screening on DFGs (lower is better)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

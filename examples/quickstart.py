@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: predict FPGA resources/timing for a C kernel before HLS.
+
+Walks the full pipeline on one hand-written program:
+
+1. build a mini-C kernel with the AST API (or take one from a suite),
+2. compile it to IR and extract its CDFG,
+3. run the simulated HLS + implementation flow for ground truth,
+4. train a small knowledge-infused (hierarchical) predictor on a
+   synthetic dataset and predict the kernel's DSP/LUT/FF/CP *from the
+   graph alone* — the paper's headline use case.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.dataset import build_graph, build_synthetic_dataset, split_dataset
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Decl,
+    For,
+    Function,
+    IntConst,
+    Program,
+    Return,
+    Var,
+    lower_program,
+    to_c_source,
+)
+from repro.typesys import CArray, CInt
+from repro.hls import run_hls
+from repro.models import HierarchicalPredictor, PredictorConfig
+from repro.training import TrainConfig
+
+INT16, INT32 = CInt(16), CInt(32)
+
+
+def build_kernel() -> Program:
+    """An 8-tap dot-product kernel, the kind HLS tutorials start with."""
+    body = [
+        Decl("acc", INT32, IntConst(0)),
+        For("i", 0, 8, 1, body=[
+            Assign(
+                Var("acc"),
+                BinOp("+", Var("acc"),
+                      BinOp("*", ArrayRef("a", Var("i")), ArrayRef("b", Var("i")))),
+            ),
+        ]),
+        Return(Var("acc")),
+    ]
+    function = Function(
+        name="dot8",
+        params=[("a", CArray(INT16, 8)), ("b", CArray(INT16, 8))],
+        ret_type=INT32,
+        body=body,
+    )
+    return Program(name="dot8", functions=[function])
+
+
+def main() -> None:
+    program = build_kernel()
+    print("=== C source ===")
+    print(to_c_source(program))
+
+    # Ground truth from the simulated flow (what Vitis would measure).
+    function = lower_program(program)
+    hls = run_hls(function)
+    print("=== simulated HLS flow ===")
+    print(f"implementation (ground truth): {hls.impl}")
+    print(f"synthesis report (estimate)  : {hls.report}")
+
+    # Train the knowledge-infused predictor on synthetic programs only.
+    print("\n=== training hierarchical predictor (small demo scale) ===")
+    dataset = build_synthetic_dataset("cdfg", 150, seed=0)
+    train, val, test = split_dataset(dataset, seed=0)
+    predictor = HierarchicalPredictor(
+        PredictorConfig(
+            model_name="rgcn",
+            hidden_dim=48,
+            num_layers=3,
+            train=TrainConfig(epochs=30, batch_size=16, lr=3e-3),
+        )
+    )
+    predictor.fit(train, val)
+    test_mape = predictor.evaluate(test)
+    print("synthetic test MAPE [DSP, LUT, FF, CP]:",
+          [f"{100 * v:.1f}%" for v in test_mape])
+
+    # Predict the unseen kernel from its IR graph alone.
+    sample = build_graph(program, kind="cdfg")
+    prediction = predictor.predict([sample])[0]
+    truth = sample.y
+    print("\n=== dot8 prediction (earliest stage, graph only) ===")
+    for name, p, t in zip(("DSP", "LUT", "FF", "CP"), prediction, truth):
+        print(f"{name:4s} predicted {p:9.1f}   ground truth {t:9.1f}")
+
+
+if __name__ == "__main__":
+    main()

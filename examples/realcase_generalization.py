@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Generalisation to real applications: GNN predictor vs the HLS report
+(mini Table 5).
+
+Trains the three approaches on synthetic programs only, then evaluates
+on MachSuite/CHStone/PolyBench kernels none of the models have seen.
+The punchline matches the paper: the HLS tool's own LUT/FF estimates are
+catastrophically wrong on real kernels, while the GNN predictors —
+including the hierarchical one that needs nothing but the IR graph —
+stay accurate.
+
+Run:  python examples/realcase_generalization.py
+"""
+
+import numpy as np
+
+from repro.dataset import build_realcase_dataset, build_synthetic_dataset, split_dataset
+from repro.models import (
+    HierarchicalPredictor,
+    KnowledgeRichPredictor,
+    OffTheShelfPredictor,
+    PredictorConfig,
+)
+from repro.training import TrainConfig
+from repro.training.metrics import mape
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    synthetic = (
+        build_synthetic_dataset("dfg", 120, seed=0)
+        + build_synthetic_dataset("cdfg", 100, seed=1)
+    )
+    train, val, _ = split_dataset(synthetic, fractions=(0.85, 0.15, 0.0), seed=0)
+    real = build_realcase_dataset()
+    print(f"training on {len(train)} synthetic graphs; "
+          f"evaluating on {len(real)} real kernels")
+
+    results = {}
+    # The HLS baseline: its own synthesis report vs implementation truth.
+    reports = np.stack([np.asarray(s.meta["hls_report"]) for s in real])
+    targets = np.stack([s.y for s in real])
+    results["HLS report"] = mape(reports, targets)
+
+    config = PredictorConfig(
+        model_name="rgcn",
+        hidden_dim=48,
+        num_layers=3,
+        train=TrainConfig(epochs=30, batch_size=16, lr=3e-3),
+    )
+    for label, predictor in (
+        ("RGCN (off-the-shelf)", OffTheShelfPredictor(config)),
+        ("RGCN-I (infused)", HierarchicalPredictor(config)),
+        ("RGCN-R (rich)", KnowledgeRichPredictor(config)),
+    ):
+        predictor.fit(train, val)
+        results[label] = predictor.evaluate(real)
+        print(f"trained {label}")
+
+    print()
+    rows = []
+    for i, metric in enumerate(("DSP", "LUT", "FF", "CP")):
+        rows.append([metric] + [f"{100 * results[k][i]:.1f}%" for k in results])
+    print(format_table(["Metric", *results.keys()], rows,
+                       title="MAPE on unseen real-case kernels"))
+    lut_gain = results["HLS report"][1] / max(results["RGCN-I (infused)"][1], 1e-9)
+    print(f"\nhierarchical GNN beats the HLS report on LUT by {lut_gain:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

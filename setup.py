@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path, which needs no wheel. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Benchmark construction: encoded graphs with ground-truth labels.
+
+Mirrors Section 3 of the paper: node/edge features per Table 1, two task
+families (graph-level regression on DSP/LUT/FF/CP, node-level resource
+type classification), synthetic DFG/CDFG datasets from ldrgen and the
+real-case generalisation set from the three suites.
+"""
+
+from repro.dataset.features import (
+    FeatureEncoder,
+    NUM_EDGE_TYPES_WITH_BACK,
+    TARGET_NAMES,
+)
+from repro.dataset.builder import (
+    build_graph,
+    build_realcase_dataset,
+    build_synthetic_dataset,
+)
+from repro.dataset.splits import split_dataset
+from repro.dataset.io import load_dataset, save_dataset
+from repro.dataset.stats import DatasetStats, compute_stats, render_stats
+
+__all__ = [
+    "FeatureEncoder",
+    "NUM_EDGE_TYPES_WITH_BACK",
+    "TARGET_NAMES",
+    "build_graph",
+    "build_realcase_dataset",
+    "build_synthetic_dataset",
+    "split_dataset",
+    "load_dataset",
+    "save_dataset",
+    "DatasetStats",
+    "compute_stats",
+    "render_stats",
+]

@@ -1,0 +1,115 @@
+"""Dataset builders: program -> IR -> graph -> HLS labels -> GraphData.
+
+The builders store *raw* per-node labels and resource values on every
+sample; approach-specific feature sets are derived later by
+re-encoding (see :func:`repro.models.base.apply_feature_view`), so one
+built dataset serves all three prediction approaches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.features import FeatureEncoder
+from repro.frontend.ast_ import Program
+from repro.frontend.lower import lower_program
+from repro.graph.data import GraphData
+from repro.graph.validation import validate_graph
+from repro.hls.flow import HLSResult, run_hls
+from repro.ir.cdfg import extract_cdfg
+from repro.ir.dfg import extract_dfg
+from repro.ir.graph import IRGraph
+from repro.ldrgen.config import GeneratorConfig
+from repro.ldrgen.generator import ProgramGenerator
+from repro.suites.registry import SUITE_NAMES, suite_programs
+
+
+def _per_node_arrays(
+    graph: IRGraph, hls: HLSResult
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-graph-node (resource values, resource types); non-instruction
+    nodes (ports, constants, blocks) carry zeros (= "empty")."""
+    values = np.zeros((graph.num_nodes, 3))
+    types = np.zeros((graph.num_nodes, 3))
+    for node in graph.nodes:
+        if node.instruction_id is None:
+            continue
+        if node.instruction_id in hls.node_resources:
+            values[node.index] = hls.node_resources[node.instruction_id]
+            types[node.index] = hls.node_types[node.instruction_id]
+    return values, types
+
+
+def build_graph(
+    program: Program,
+    kind: str | None = None,
+    encoder: FeatureEncoder | None = None,
+    meta: dict | None = None,
+) -> GraphData:
+    """Compile, synthesise and encode a single program.
+
+    ``kind`` forces "dfg" or "cdfg" extraction; by default single-block
+    functions produce DFGs and everything else CDFGs (as in the paper's
+    benchmark format).
+    """
+    encoder = encoder or FeatureEncoder()
+    function = lower_program(program)
+    if kind is None:
+        kind = "dfg" if function.is_single_block else "cdfg"
+    if kind == "dfg":
+        graph = extract_dfg(function, name=program.name)
+    elif kind == "cdfg":
+        graph = extract_cdfg(function, name=program.name)
+    else:
+        raise ValueError(f"kind must be 'dfg' or 'cdfg', got {kind!r}")
+    hls = run_hls(function)
+    values, types = _per_node_arrays(graph, hls)
+    sample_meta = {"name": program.name, "kind": kind}
+    if meta:
+        sample_meta.update(meta)
+    sample = encoder.encode(
+        graph,
+        y=hls.impl.as_array(),
+        node_labels=types,
+        node_resources=values,
+        meta=sample_meta,
+    )
+    # The biased HLS report rides along for the Table-5 baseline.
+    sample.meta["hls_report"] = hls.report.as_array().tolist()
+    validate_graph(sample)
+    return sample
+
+
+def build_synthetic_dataset(
+    mode: str,
+    num_programs: int,
+    seed: int = 0,
+    config: GeneratorConfig | None = None,
+) -> list[GraphData]:
+    """ldrgen-generated DFG or CDFG dataset of ``num_programs`` samples."""
+    if num_programs <= 0:
+        raise ValueError("num_programs must be positive")
+    config = config or GeneratorConfig(mode=mode)
+    if config.mode != mode:
+        raise ValueError(f"config mode {config.mode!r} != requested {mode!r}")
+    generator = ProgramGenerator(config, seed=seed)
+    encoder = FeatureEncoder()
+    samples = []
+    for _ in range(num_programs):
+        program = generator.generate()
+        samples.append(
+            build_graph(program, kind=mode, encoder=encoder, meta={"suite": "synthetic"})
+        )
+    return samples
+
+
+def build_realcase_dataset(suites: tuple[str, ...] = SUITE_NAMES) -> list[GraphData]:
+    """The 56-kernel generalisation set (always CDFG extraction)."""
+    encoder = FeatureEncoder()
+    samples = []
+    for suite in suites:
+        for program in suite_programs(suite):
+            samples.append(
+                build_graph(program, kind="cdfg", encoder=encoder, meta={"suite": suite})
+            )
+    return samples

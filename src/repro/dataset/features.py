@@ -1,0 +1,151 @@
+"""Table-1 feature encoding.
+
+Raw :class:`~repro.ir.graph.IRGraph` attributes become a dense float
+matrix. The encoding per node:
+
+- node type — one-hot over {operation, block, port, misc};
+- bitwidth — two scaled numerics (linear/64 clipped, log2/8);
+- opcode type — one-hot over the LLVM-based categories;
+- opcode — one-hot over the opcode vocabulary;
+- is start of path — 1 when the node has no incoming DATA edge;
+- cluster group — scaled numeric plus a "misc" (-1) indicator.
+
+Knowledge-rich runs append per-node resource *values* (DSP raw,
+log1p LUT, log1p FF); knowledge-infused runs append the three binary
+resource-type bits (ground truth while training, model-inferred at
+inference). Edge types fold the back-edge flag into the type id so
+relational layers can distinguish loop-closing control edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.data import GraphData
+from repro.ir.graph import IRGraph
+from repro.ir.opcodes import (
+    EdgeType,
+    NodeType,
+    Opcode,
+    OPCODE_CATEGORIES,
+    opcode_category,
+)
+
+TARGET_NAMES = ("DSP", "LUT", "FF", "CP")
+
+_OPCODES = tuple(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+_CATEGORY_INDEX = {c: i for i, c in enumerate(OPCODE_CATEGORIES)}
+
+#: 4 structural edge types x {normal, back}.
+NUM_EDGE_TYPES_WITH_BACK = 2 * len(EdgeType)
+
+
+class FeatureEncoder:
+    """Encodes :class:`IRGraph` into :class:`GraphData`.
+
+    ``with_resource_values`` / ``with_resource_types`` select the
+    knowledge-rich / knowledge-infused feature extensions.
+    """
+
+    def __init__(
+        self,
+        with_resource_values: bool = False,
+        with_resource_types: bool = False,
+    ):
+        self.with_resource_values = with_resource_values
+        self.with_resource_types = with_resource_types
+
+    @property
+    def base_dim(self) -> int:
+        return (
+            len(NodeType)
+            + 2
+            + len(OPCODE_CATEGORIES)
+            + len(_OPCODES)
+            + 1
+            + 2
+        )
+
+    @property
+    def feature_dim(self) -> int:
+        dim = self.base_dim
+        if self.with_resource_values:
+            dim += 3
+        if self.with_resource_types:
+            dim += 3
+        return dim
+
+    def encode_nodes(
+        self,
+        graph: IRGraph,
+        node_resources: np.ndarray | None = None,
+        node_types: np.ndarray | None = None,
+    ) -> np.ndarray:
+        n = graph.num_nodes
+        features = np.zeros((n, self.feature_dim))
+        data_preds = graph.data_predecessor_counts()
+        col_ntype = 0
+        col_bw = col_ntype + len(NodeType)
+        col_cat = col_bw + 2
+        col_op = col_cat + len(OPCODE_CATEGORIES)
+        col_start = col_op + len(_OPCODES)
+        col_cluster = col_start + 1
+        col_extra = col_cluster + 2
+        for node in graph.nodes:
+            i = node.index
+            features[i, col_ntype + int(node.kind)] = 1.0
+            features[i, col_bw] = min(node.bitwidth, 256) / 64.0
+            features[i, col_bw + 1] = np.log2(node.bitwidth + 1.0) / 8.0
+            features[i, col_cat + _CATEGORY_INDEX[opcode_category(node.opcode)]] = 1.0
+            features[i, col_op + _OPCODE_INDEX[node.opcode]] = 1.0
+            features[i, col_start] = 1.0 if data_preds[i] == 0 else 0.0
+            if node.cluster < 0:
+                features[i, col_cluster + 1] = 1.0
+            else:
+                features[i, col_cluster] = min(node.cluster, 256) / 16.0
+        cursor = col_extra
+        if self.with_resource_values:
+            if node_resources is None:
+                raise ValueError("knowledge-rich encoding requires node_resources")
+            features[:, cursor] = node_resources[:, 0]
+            features[:, cursor + 1] = np.log1p(node_resources[:, 1])
+            features[:, cursor + 2] = np.log1p(node_resources[:, 2])
+            cursor += 3
+        if self.with_resource_types:
+            if node_types is None:
+                raise ValueError("knowledge-infused encoding requires node_types")
+            features[:, cursor : cursor + 3] = node_types
+        return features
+
+    def encode_edges(self, graph: IRGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (edge_index, merged edge-type ids, back flags)."""
+        edge_index, edge_type, edge_back = graph.edge_arrays()
+        merged = edge_type + len(EdgeType) * edge_back
+        return edge_index, merged, edge_back
+
+    def encode(
+        self,
+        graph: IRGraph,
+        y: np.ndarray | None = None,
+        node_labels: np.ndarray | None = None,
+        node_resources: np.ndarray | None = None,
+        meta: dict | None = None,
+    ) -> GraphData:
+        """Full encoding of one sample (features, edges, labels)."""
+        node_features = self.encode_nodes(
+            graph,
+            node_resources=node_resources,
+            node_types=node_labels if self.with_resource_types else None,
+        )
+        edge_index, edge_type, edge_back = self.encode_edges(graph)
+        return GraphData(
+            node_features=node_features,
+            edge_index=edge_index,
+            edge_type=edge_type,
+            edge_back=edge_back,
+            y=y,
+            node_labels=node_labels,
+            node_resources=node_resources,
+            meta=meta or {"name": graph.name, "kind": graph.kind},
+        )

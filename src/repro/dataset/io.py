@@ -1,0 +1,57 @@
+"""Dataset (de)serialisation to a single ``.npz`` archive + JSON metadata."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.data import GraphData
+
+
+def save_dataset(samples: list[GraphData], path: str | Path) -> None:
+    """Store a dataset compactly: concatenated arrays with offsets."""
+    path = Path(path)
+    node_ptr = np.cumsum([0] + [s.num_nodes for s in samples])
+    edge_ptr = np.cumsum([0] + [s.num_edges for s in samples])
+    payload = {
+        "node_ptr": node_ptr,
+        "edge_ptr": edge_ptr,
+        "node_features": np.concatenate([s.node_features for s in samples], axis=0),
+        "edge_index": np.concatenate([s.edge_index for s in samples], axis=1),
+        "edge_type": np.concatenate([s.edge_type for s in samples]),
+        "edge_back": np.concatenate([s.edge_back for s in samples]),
+        "y": np.stack([s.y for s in samples]),
+        "node_labels": np.concatenate([s.node_labels for s in samples], axis=0),
+        "node_resources": np.concatenate([s.node_resources for s in samples], axis=0),
+        "meta_json": np.frombuffer(
+            json.dumps([s.meta for s in samples]).encode(), dtype=np.uint8
+        ),
+    }
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset(path: str | Path) -> list[GraphData]:
+    """Inverse of :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        node_ptr = archive["node_ptr"]
+        edge_ptr = archive["edge_ptr"]
+        metas = json.loads(bytes(archive["meta_json"]).decode())
+        samples = []
+        for k in range(len(node_ptr) - 1):
+            n0, n1 = int(node_ptr[k]), int(node_ptr[k + 1])
+            e0, e1 = int(edge_ptr[k]), int(edge_ptr[k + 1])
+            samples.append(
+                GraphData(
+                    node_features=archive["node_features"][n0:n1],
+                    edge_index=archive["edge_index"][:, e0:e1] - 0,
+                    edge_type=archive["edge_type"][e0:e1],
+                    edge_back=archive["edge_back"][e0:e1],
+                    y=archive["y"][k],
+                    node_labels=archive["node_labels"][n0:n1],
+                    node_resources=archive["node_resources"][n0:n1],
+                    meta=metas[k],
+                )
+            )
+    return samples

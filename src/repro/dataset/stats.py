@@ -1,0 +1,82 @@
+"""Dataset statistics: the numbers a benchmark paper reports about its
+own data (graph sizes, edge-type mix, label distributions, class balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.features import TARGET_NAMES
+from repro.graph.data import GraphData
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    num_graphs: int
+    num_nodes: int
+    num_edges: int
+    nodes_per_graph: tuple[float, float, float]  # min / median / max
+    edge_type_fractions: dict[int, float]
+    back_edge_fraction: float
+    label_ranges: dict[str, tuple[float, float, float]]  # min / median / max
+    node_label_positive_rates: tuple[float, float, float]  # DSP/LUT/FF
+
+
+def compute_stats(samples: list[GraphData]) -> DatasetStats:
+    """Aggregate statistics over a dataset."""
+    if not samples:
+        raise ValueError("empty dataset")
+    node_counts = np.array([s.num_nodes for s in samples])
+    edge_types = np.concatenate([s.edge_type for s in samples])
+    backs = np.concatenate([s.edge_back for s in samples])
+    targets = np.stack([s.y for s in samples]) if samples[0].y is not None else None
+    label_ranges = {}
+    if targets is not None:
+        for i, name in enumerate(TARGET_NAMES):
+            column = targets[:, i]
+            label_ranges[name] = (
+                float(column.min()),
+                float(np.median(column)),
+                float(column.max()),
+            )
+    if samples[0].node_labels is not None:
+        node_labels = np.concatenate([s.node_labels for s in samples])
+        positive = tuple(float(v) for v in node_labels.mean(axis=0))
+    else:
+        positive = (0.0, 0.0, 0.0)
+    type_ids, counts = np.unique(edge_types, return_counts=True)
+    return DatasetStats(
+        num_graphs=len(samples),
+        num_nodes=int(node_counts.sum()),
+        num_edges=int(len(edge_types)),
+        nodes_per_graph=(
+            float(node_counts.min()),
+            float(np.median(node_counts)),
+            float(node_counts.max()),
+        ),
+        edge_type_fractions={
+            int(t): float(c) / len(edge_types) for t, c in zip(type_ids, counts)
+        },
+        back_edge_fraction=float(backs.mean()) if len(backs) else 0.0,
+        label_ranges=label_ranges,
+        node_label_positive_rates=positive,
+    )
+
+
+def render_stats(stats: DatasetStats, title: str = "Dataset statistics") -> str:
+    rows = [
+        ["graphs", stats.num_graphs],
+        ["nodes (total)", stats.num_nodes],
+        ["edges (total)", stats.num_edges],
+        ["nodes/graph min/med/max",
+         "/".join(f"{v:.0f}" for v in stats.nodes_per_graph)],
+        ["back-edge fraction", f"{100 * stats.back_edge_fraction:.2f}%"],
+        ["node-label positive rate (DSP/LUT/FF)",
+         "/".join(f"{100 * v:.1f}%" for v in stats.node_label_positive_rates)],
+    ]
+    for name, (lo, mid, hi) in stats.label_ranges.items():
+        rows.append([f"label {name} min/med/max", f"{lo:.1f}/{mid:.1f}/{hi:.1f}"])
+    return format_table(["statistic", "value"], rows, title=title)

@@ -1,0 +1,37 @@
+"""Experiment runners — one per table of the paper's evaluation.
+
+- :mod:`repro.experiments.table2` — 14-model zoo screening (graph MAPE);
+- :mod:`repro.experiments.table3` — node-level classification accuracy;
+- :mod:`repro.experiments.table4` — the three approaches on DFG/CDFG;
+- :mod:`repro.experiments.table5` — real-case generalisation vs HLS;
+- :mod:`repro.experiments.ablations` — pooling/depth/width/feature sweeps.
+
+Every runner accepts an :class:`ExperimentScale` preset (``ci`` default)
+and prints its result in the layout of the corresponding paper table.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    get_scale,
+    load_cdfg_dataset,
+    load_dfg_dataset,
+    load_real_dataset,
+)
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.ablations import run_ablations
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "load_cdfg_dataset",
+    "load_dfg_dataset",
+    "load_real_dataset",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_ablations",
+]

@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m repro.experiments <table> [...]``.
+
+Examples::
+
+    python -m repro.experiments table2 --scale ci
+    python -m repro.experiments table4 --scale small
+    python -m repro.experiments table5
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.common import get_scale
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.utils.rng import seed_all
+
+def _run_report(scale):
+    from repro.experiments.report import generate_report
+
+    generate_report(scale, "EXPERIMENTS.md")
+
+
+RUNNERS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "ablations": run_ablations,
+    "report": _run_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's evaluation tables.",
+    )
+    parser.add_argument("experiment", choices=[*RUNNERS, "all"])
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["ci", "small", "paper"],
+        help="size preset (default: REPRO_SCALE env var or 'ci')",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    seed_all(args.seed)
+    scale = get_scale(args.scale)
+    print(f"running {args.experiment} at scale '{scale.name}': {scale}")
+    if args.experiment == "all":
+        targets = [name for name in RUNNERS if name != "report"]
+    else:
+        targets = [args.experiment]
+    for name in targets:
+        RUNNERS[name](scale)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

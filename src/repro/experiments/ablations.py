@@ -1,0 +1,130 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Not part of the paper's tables, but the natural follow-up questions:
+pooling operator, network depth, hidden width, feature groups, and
+training-set size. Each returns mean test MAPE for the swept values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentScale,
+    get_scale,
+    load_dfg_dataset,
+    predictor_config,
+    split,
+)
+from repro.graph.data import GraphData
+from repro.models.off_the_shelf import OffTheShelfPredictor
+from repro.utils.tables import format_table
+
+
+def _fit_eval(config, train, val, test) -> float:
+    predictor = OffTheShelfPredictor(config)
+    predictor.fit(train, val)
+    return float(np.mean(predictor.evaluate(test)))
+
+
+def ablate_pooling(scale: ExperimentScale, backbone: str = "rgcn") -> dict[str, float]:
+    """Sum vs mean vs max readout (the paper uses sum or mean)."""
+    train, val, test = split(scale, load_dfg_dataset(scale))
+    return {
+        pooling: _fit_eval(
+            predictor_config(scale, backbone, pooling=pooling), train, val, test
+        )
+        for pooling in ("sum", "mean", "max")
+    }
+
+
+def ablate_depth(
+    scale: ExperimentScale, backbone: str = "rgcn", depths: tuple[int, ...] = (1, 3, 5)
+) -> dict[int, float]:
+    """Number of message-passing layers (the paper fixes 5)."""
+    train, val, test = split(scale, load_dfg_dataset(scale))
+    results = {}
+    for depth in depths:
+        config = predictor_config(scale, backbone)
+        config.num_layers = depth
+        results[depth] = _fit_eval(config, train, val, test)
+    return results
+
+
+def ablate_width(
+    scale: ExperimentScale,
+    backbone: str = "rgcn",
+    widths: tuple[int, ...] = (16, 48, 96),
+) -> dict[int, float]:
+    """Hidden dimension (the paper fixes 300)."""
+    train, val, test = split(scale, load_dfg_dataset(scale))
+    results = {}
+    for width in widths:
+        config = predictor_config(scale, backbone)
+        config.hidden_dim = width
+        results[width] = _fit_eval(config, train, val, test)
+    return results
+
+
+def _strip_features(samples: list[GraphData], keep: slice) -> list[GraphData]:
+    return [s.with_features(s.node_features[:, keep]) for s in samples]
+
+
+def ablate_features(scale: ExperimentScale, backbone: str = "rgcn") -> dict[str, float]:
+    """Full Table-1 features vs node-type-only (columns 0-3).
+
+    Quantifies how much of the prediction comes from opcode/bitwidth
+    detail versus bare graph structure.
+    """
+    train, val, test = split(scale, load_dfg_dataset(scale))
+    full = _fit_eval(predictor_config(scale, backbone), train, val, test)
+    keep = slice(0, 4)
+    stripped = (
+        _strip_features(train, keep),
+        _strip_features(val, keep),
+        _strip_features(test, keep),
+    )
+    minimal = _fit_eval(predictor_config(scale, backbone), *stripped)
+    return {"full_table1": full, "node_type_only": minimal}
+
+
+def ablate_dataset_size(
+    scale: ExperimentScale,
+    backbone: str = "rgcn",
+    fractions: tuple[float, ...] = (0.25, 0.5, 1.0),
+) -> dict[float, float]:
+    """Training-set size scaling at fixed evaluation set."""
+    train, val, test = split(scale, load_dfg_dataset(scale))
+    results = {}
+    for fraction in fractions:
+        subset = train[: max(8, int(len(train) * fraction))]
+        results[fraction] = _fit_eval(
+            predictor_config(scale, backbone), subset, val, test
+        )
+    return results
+
+
+def run_ablations(
+    scale: ExperimentScale | None = None,
+    backbone: str = "rgcn",
+    which: tuple[str, ...] = ("pooling", "depth", "width", "features", "dataset_size"),
+    verbose: bool = True,
+) -> dict:
+    scale = scale or get_scale()
+    runners = {
+        "pooling": lambda: ablate_pooling(scale, backbone),
+        "depth": lambda: ablate_depth(scale, backbone),
+        "width": lambda: ablate_width(scale, backbone),
+        "features": lambda: ablate_features(scale, backbone),
+        "dataset_size": lambda: ablate_dataset_size(scale, backbone),
+    }
+    results = {}
+    for name in which:
+        results[name] = runners[name]()
+        if verbose:
+            rows = [
+                [str(k), f"{100 * v:.2f}%"] for k, v in results[name].items()
+            ]
+            print(format_table(["setting", "mean MAPE"], rows, title=f"Ablation: {name}"))
+            print()
+    return results

@@ -1,0 +1,144 @@
+"""Shared experiment infrastructure: scale presets and dataset caching.
+
+The paper trains 5x300 GNNs for 100 epochs on ~40k graphs (GPU); the
+numpy backend runs the same pipeline at reduced scale. ``REPRO_SCALE``
+selects the preset globally (``ci`` / ``small`` / ``paper``); individual
+knobs can be overridden via ``REPRO_<FIELD>`` environment variables
+(e.g. ``REPRO_EPOCHS=10``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.dataset.builder import build_realcase_dataset, build_synthetic_dataset
+from repro.dataset.splits import split_dataset
+from repro.graph.data import GraphData
+from repro.models.base import PredictorConfig
+from repro.training.trainer import TrainConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    num_dfg: int
+    num_cdfg: int
+    hidden_dim: int
+    num_layers: int
+    epochs: int
+    batch_size: int
+    lr: float
+    runs: int  # independent seeds; the paper averages 3 of 5 runs
+
+
+PRESETS = {
+    "ci": ExperimentScale(
+        name="ci",
+        num_dfg=170,
+        num_cdfg=110,
+        hidden_dim=40,
+        num_layers=3,
+        epochs=28,
+        batch_size=16,
+        lr=3e-3,
+        runs=1,
+    ),
+    "small": ExperimentScale(
+        name="small",
+        num_dfg=1200,
+        num_cdfg=900,
+        hidden_dim=128,
+        num_layers=4,
+        epochs=80,
+        batch_size=32,
+        lr=2e-3,
+        runs=3,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        num_dfg=19120,
+        num_cdfg=18570,
+        hidden_dim=300,
+        num_layers=5,
+        epochs=100,
+        batch_size=64,
+        lr=1e-3,
+        runs=5,
+    ),
+}
+
+_INT_OVERRIDES = {
+    "REPRO_NUM_DFG": "num_dfg",
+    "REPRO_NUM_CDFG": "num_cdfg",
+    "REPRO_HIDDEN": "hidden_dim",
+    "REPRO_LAYERS": "num_layers",
+    "REPRO_EPOCHS": "epochs",
+    "REPRO_BATCH": "batch_size",
+    "REPRO_RUNS": "runs",
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve the preset from the argument or ``REPRO_SCALE`` env var,
+    then apply individual ``REPRO_*`` overrides."""
+    key = name or os.environ.get("REPRO_SCALE", "ci")
+    if key not in PRESETS:
+        raise KeyError(f"unknown scale {key!r}; available: {sorted(PRESETS)}")
+    scale = PRESETS[key]
+    for env, field in _INT_OVERRIDES.items():
+        if env in os.environ:
+            scale = replace(scale, **{field: int(os.environ[env])})
+    if "REPRO_LR" in os.environ:
+        scale = replace(scale, lr=float(os.environ["REPRO_LR"]))
+    return scale
+
+
+def predictor_config(
+    scale: ExperimentScale, model_name: str, seed: int = 0, pooling: str = "sum"
+) -> PredictorConfig:
+    return PredictorConfig(
+        model_name=model_name,
+        hidden_dim=scale.hidden_dim,
+        num_layers=scale.num_layers,
+        pooling=pooling,
+        seed=seed,
+        train=TrainConfig(
+            epochs=scale.epochs,
+            batch_size=scale.batch_size,
+            lr=scale.lr,
+            seed=seed,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dataset cache: building graphs (compile + HLS) is pure and deterministic,
+# so experiments within one process share them.
+# ---------------------------------------------------------------------------
+_CACHE: dict[tuple, list[GraphData]] = {}
+
+
+def load_dfg_dataset(scale: ExperimentScale, seed: int = 0) -> list[GraphData]:
+    key = ("dfg", scale.num_dfg, seed)
+    if key not in _CACHE:
+        _CACHE[key] = build_synthetic_dataset("dfg", scale.num_dfg, seed=seed)
+    return _CACHE[key]
+
+
+def load_cdfg_dataset(scale: ExperimentScale, seed: int = 0) -> list[GraphData]:
+    key = ("cdfg", scale.num_cdfg, seed)
+    if key not in _CACHE:
+        _CACHE[key] = build_synthetic_dataset("cdfg", scale.num_cdfg, seed=seed)
+    return _CACHE[key]
+
+
+def load_real_dataset() -> list[GraphData]:
+    key = ("real",)
+    if key not in _CACHE:
+        _CACHE[key] = build_realcase_dataset()
+    return _CACHE[key]
+
+
+def split(scale: ExperimentScale, samples: list[GraphData], seed: int = 0):
+    return split_dataset(samples, seed=seed)

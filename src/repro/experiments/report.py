@@ -1,0 +1,194 @@
+"""Write EXPERIMENTS.md from freshly-run experiment results.
+
+``python -m repro.experiments report`` runs every table at the active
+scale and records measured-vs-paper values in one document. The
+benchmark harness asserts the qualitative *shape*; this module archives
+the quantitative snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset.features import TARGET_NAMES
+from repro.experiments.common import ExperimentScale
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import TABLE3_MODELS, TASK_NAMES, run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.gnn.registry import ALL_MODEL_NAMES, MODEL_SPECS
+
+#: Paper values (percent MAPE / percent accuracy) used for side-by-side
+#: comparison. Keyed exactly like the runner outputs.
+PAPER_TABLE2 = {
+    "gcn": {"dfg": (16.31, 16.49, 21.27, 6.12), "cdfg": (25.30, 28.64, 38.34, 8.79)},
+    "gcn-v": {"dfg": (15.72, 15.93, 21.64, 6.36), "cdfg": (17.31, 33.93, 39.94, 8.13)},
+    "sgc": {"dfg": (42.12, 23.93, 30.61, 7.92), "cdfg": (44.01, 60.87, 53.50, 10.32)},
+    "sage": {"dfg": (15.18, 14.01, 17.11, 6.12), "cdfg": (17.01, 28.09, 39.11, 8.25)},
+    "arma": {"dfg": (19.12, 13.46, 16.87, 6.50), "cdfg": (18.47, 25.21, 32.15, 8.42)},
+    "pan": {"dfg": (15.24, 14.13, 17.23, 6.38), "cdfg": (16.88, 32.65, 44.36, 8.54)},
+    "gin": {"dfg": (15.52, 16.10, 22.08, 6.58), "cdfg": (15.47, 28.48, 38.82, 8.76)},
+    "gin-v": {"dfg": (15.04, 16.17, 23.09, 6.40), "cdfg": (17.94, 29.40, 48.64, 8.59)},
+    "pna": {"dfg": (12.65, 11.64, 14.41, 6.26), "cdfg": (14.71, 22.86, 26.47, 8.87)},
+    "gat": {"dfg": (26.22, 22.64, 27.74, 8.30), "cdfg": (28.66, 46.19, 54.73, 10.32)},
+    "ggnn": {"dfg": (15.40, 13.64, 16.94, 6.47), "cdfg": (16.28, 28.05, 31.88, 8.50)},
+    "rgcn": {"dfg": (13.27, 13.03, 15.09, 6.14), "cdfg": (15.03, 26.33, 25.52, 8.72)},
+    "unet": {"dfg": (18.40, 14.90, 19.17, 6.61), "cdfg": (18.92, 32.83, 53.06, 9.02)},
+    "film": {"dfg": (20.05, 12.50, 16.94, 6.27), "cdfg": (17.42, 26.97, 27.35, 8.67)},
+}
+
+PAPER_TABLE3 = {
+    "gcn": {"dfg": (93.79, 84.84, 88.66), "cdfg": (83.00, 77.01, 64.74),
+            "real": (79.70, 81.83, 86.82)},
+    "sage": {"dfg": (93.06, 87.32, 92.09), "cdfg": (85.65, 78.41, 60.40),
+             "real": (87.39, 86.44, 55.88)},
+    "gin": {"dfg": (93.80, 84.93, 91.57), "cdfg": (79.24, 73.05, 65.78),
+            "real": (74.70, 75.53, 72.24)},
+    "rgcn": {"dfg": (93.91, 87.13, 91.52), "cdfg": (85.80, 78.46, 68.92),
+             "real": (90.82, 88.83, 91.55)},
+}
+
+PAPER_TABLE4 = {
+    "rgcn": {
+        "base": {"dfg": (13.27, 13.03, 15.09, 6.14), "cdfg": (15.03, 26.33, 25.52, 8.72)},
+        "infused": {"dfg": (10.60, 10.25, 12.47, 5.70), "cdfg": (12.65, 20.55, 19.01, 6.78)},
+        "rich": {"dfg": (8.86, 8.58, 10.18, 4.91), "cdfg": (10.98, 14.06, 16.65, 5.46)},
+    },
+    "pna": {
+        "base": {"dfg": (12.65, 11.64, 14.41, 6.26), "cdfg": (14.71, 22.86, 26.47, 8.87)},
+        "infused": {"dfg": (8.26, 5.10, 7.58, 5.51), "cdfg": (10.39, 14.12, 16.42, 6.54)},
+        "rich": {"dfg": (7.06, 4.02, 5.78, 5.39), "cdfg": (8.95, 10.27, 11.22, 5.81)},
+    },
+}
+
+PAPER_TABLE5 = {
+    "HLS": (26.07, 871.56, 322.86, 32.09),
+    "RGCN": (45.61, 66.23, 101.20, 8.13),
+    "RGCN-I": (40.89, 30.91, 38.75, 5.35),
+    "RGCN-R": (32.90, 24.08, 27.72, 5.83),
+    "PNA": (40.06, 56.34, 47.65, 8.68),
+    "PNA-I": (21.95, 21.45, 20.10, 4.80),
+    "PNA-R": (15.20, 16.96, 17.42, 3.97),
+}
+
+_SUFFIX = {"base": "", "infused": "-I", "rich": "-R"}
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _pair(measured: float, paper: float) -> str:
+    return f"{measured:.2f} ({paper:.2f})"
+
+
+def generate_report(scale: ExperimentScale, path: str | Path) -> None:
+    """Run all four tables and write the markdown report."""
+    t2 = run_table2(scale, verbose=False)
+    t3 = run_table3(scale, verbose=False)
+    t4 = run_table4(scale, verbose=False)
+    t5 = run_table5(scale, verbose=False)
+    write_report(scale, t2, t3, t4, t5, path)
+
+
+def write_report(scale, t2, t3, t4, t5, path: str | Path) -> None:
+    parts = [
+        "# EXPERIMENTS — measured vs paper",
+        "",
+        "Every cell shows **measured (paper)**. Measured values come from "
+        f"a `{scale.name}` run ({scale.num_dfg} DFG / {scale.num_cdfg} CDFG "
+        f"programs, {scale.num_layers}x{scale.hidden_dim} GNNs, "
+        f"{scale.epochs} epochs, {scale.runs} run(s)); paper values come "
+        "from a GPU-scale run on 40k Vitis-labelled programs, so absolute "
+        "numbers differ — the comparisons of interest are the *orderings* "
+        "asserted by `benchmarks/` (who wins, where prediction is hard, "
+        "how wrong the HLS report is).",
+        "",
+        "Regenerate: `python -m repro.experiments report` or "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+        "## Table 2 — off-the-shelf zoo, graph-level MAPE (%)",
+        "",
+    ]
+    headers = ["Model"] + [f"{d.upper()} {t}" for d in ("dfg", "cdfg") for t in TARGET_NAMES]
+    rows = []
+    for name in ALL_MODEL_NAMES:
+        row = [MODEL_SPECS[name].paper_row]
+        for dataset in ("dfg", "cdfg"):
+            for i in range(4):
+                row.append(
+                    _pair(100 * t2[name][dataset][i], PAPER_TABLE2[name][dataset][i])
+                )
+        rows.append(row)
+    parts.append(_md_table(headers, rows))
+
+    parts += ["", "## Table 3 — node-level classification accuracy (%)", ""]
+    headers = ["Model"] + [
+        f"{d.upper()} {t}" for d in ("dfg", "cdfg", "real") for t in TASK_NAMES
+    ]
+    rows = []
+    for name in TABLE3_MODELS:
+        row = [MODEL_SPECS[name].paper_row]
+        for dataset in ("dfg", "cdfg", "real"):
+            for i in range(3):
+                row.append(
+                    _pair(100 * t3[name][dataset][i], PAPER_TABLE3[name][dataset][i])
+                )
+        rows.append(row)
+    parts.append(_md_table(headers, rows))
+
+    parts += ["", "## Table 4 — three approaches, synthetic sets, MAPE (%)", ""]
+    headers = ["Model"] + [f"{d.upper()} {t}" for d in ("dfg", "cdfg") for t in TARGET_NAMES]
+    rows = []
+    for backbone in ("rgcn", "pna"):
+        for approach in ("base", "infused", "rich"):
+            row = [backbone.upper() + _SUFFIX[approach]]
+            for dataset in ("dfg", "cdfg"):
+                for i in range(4):
+                    row.append(
+                        _pair(
+                            100 * t4[backbone][approach][dataset][i],
+                            PAPER_TABLE4[backbone][approach][dataset][i],
+                        )
+                    )
+            rows.append(row)
+    parts.append(_md_table(headers, rows))
+
+    parts += ["", "## Table 5 — real-case generalisation, MAPE (%)", ""]
+    labels = list(t5)
+    headers = ["Metric"] + labels
+    rows = []
+    for i, target in enumerate(TARGET_NAMES):
+        rows.append(
+            [target]
+            + [_pair(100 * t5[label][i], PAPER_TABLE5[label][i]) for label in labels]
+        )
+    parts.append(_md_table(headers, rows))
+    parts += [
+        "",
+        "## Reading the comparison",
+        "",
+        "Shape properties reproduced (asserted in `benchmarks/`):",
+        "",
+        "1. **CDFG harder than DFG** for graph-level regression "
+        "(zoo average, Table 2) and node-level classification (Table 3).",
+        "2. **PNA/RGCN rank near the top** of the zoo, SGC near the bottom "
+        "(Table 2) — relational edge information and multi-aggregator "
+        "neighbourhoods matter on IR graphs.",
+        "3. **Knowledge ordering** base ≥ -I ≥ -R per backbone (Table 4): "
+        "more domain information buys accuracy at the cost of timeliness.",
+        "4. **HLS report error profile** on real kernels (Table 5): LUT "
+        "catastrophic, FF severe, DSP/CP moderate — and the learned "
+        "predictors, trained purely on synthetic programs, beat the "
+        "report on LUT/FF by large factors while CP stays their "
+        "best-predicted metric.",
+        "",
+    ]
+    Path(path).write_text("\n".join(parts))
+    print(f"wrote {path}")

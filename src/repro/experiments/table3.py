@@ -1,0 +1,102 @@
+"""Table 3: node-level resource-type classification accuracy for
+GCN/SAGE/GIN/RGCN on DFGs, CDFGs and the real-case suites."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentScale,
+    get_scale,
+    load_cdfg_dataset,
+    load_dfg_dataset,
+    load_real_dataset,
+    predictor_config,
+    split,
+)
+from repro.gnn.network import NodeClassifier
+from repro.gnn.registry import MODEL_SPECS
+from repro.training.trainer import (
+    evaluate_node_classifier,
+    train_node_classifier,
+)
+from repro.utils.tables import format_table
+
+TABLE3_MODELS = ("gcn", "sage", "gin", "rgcn")
+TASK_NAMES = ("DSP", "LUT", "FF")
+
+
+def run_table3(
+    scale: ExperimentScale | None = None,
+    models: tuple[str, ...] = TABLE3_MODELS,
+    verbose: bool = True,
+) -> dict:
+    """Train node classifiers per model per dataset; the real-case column
+    evaluates the CDFG-trained model on the 56 unseen kernels (pure
+    generalisation, as in the paper)."""
+    scale = scale or get_scale()
+    dfg_train, dfg_val, dfg_test = split(scale, load_dfg_dataset(scale))
+    cdfg_train, cdfg_val, cdfg_test = split(scale, load_cdfg_dataset(scale))
+    real = load_real_dataset()
+    results: dict[str, dict[str, np.ndarray]] = {}
+    for model_name in models:
+        per_dataset: dict[str, np.ndarray] = {}
+        for dataset_name, (train, val, test) in (
+            ("dfg", (dfg_train, dfg_val, dfg_test)),
+            ("cdfg", (cdfg_train, cdfg_val, cdfg_test)),
+        ):
+            run_accs = []
+            trained = None
+            for run in range(scale.runs):
+                config = predictor_config(scale, model_name, seed=run)
+                model = NodeClassifier(
+                    model_name,
+                    in_dim=train[0].feature_dim,
+                    hidden_dim=config.hidden_dim,
+                    num_layers=config.num_layers,
+                    num_edge_types=config.num_edge_types,
+                    rng=np.random.default_rng(run),
+                )
+                train_node_classifier(model, train, val, config.train)
+                run_accs.append(evaluate_node_classifier(model, test))
+                trained = model
+            per_dataset[dataset_name] = np.mean(run_accs, axis=0)
+            if dataset_name == "cdfg" and trained is not None:
+                per_dataset["real"] = evaluate_node_classifier(trained, real)
+        results[model_name] = per_dataset
+        if verbose:
+            parts = []
+            for dataset_name in ("dfg", "cdfg", "real"):
+                accs = per_dataset[dataset_name]
+                parts.append(
+                    f"{dataset_name}: "
+                    + " ".join(
+                        f"{t}={100 * a:5.2f}%" for t, a in zip(TASK_NAMES, accs)
+                    )
+                )
+            print(f"[table3] {MODEL_SPECS[model_name].paper_row:5s} " + " | ".join(parts))
+    if verbose:
+        print()
+        print(render_table3(results))
+    return results
+
+
+def render_table3(results: dict) -> str:
+    headers = ["Model"] + [
+        f"{d.upper()} {t}" for d in ("dfg", "cdfg", "real") for t in TASK_NAMES
+    ]
+    rows = []
+    for model_name, per_dataset in results.items():
+        row: list[object] = [MODEL_SPECS[model_name].paper_row]
+        for dataset_name in ("dfg", "cdfg", "real"):
+            accs = per_dataset.get(dataset_name)
+            if accs is None:
+                row.extend(["-"] * len(TASK_NAMES))
+            else:
+                row.extend(f"{100 * a:.2f}%" for a in accs)
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Table 3 - node-level resource-type classification accuracy",
+    )

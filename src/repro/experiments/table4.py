@@ -1,0 +1,97 @@
+"""Table 4: the three approaches (base, -I infused, -R rich) with
+RGCN and PNA backbones on the DFG and CDFG datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.features import TARGET_NAMES
+from repro.experiments.common import (
+    ExperimentScale,
+    get_scale,
+    load_cdfg_dataset,
+    load_dfg_dataset,
+    predictor_config,
+    split,
+)
+from repro.models.knowledge_infused import HierarchicalPredictor
+from repro.models.knowledge_rich import KnowledgeRichPredictor
+from repro.models.off_the_shelf import OffTheShelfPredictor
+from repro.utils.tables import format_table
+
+TABLE4_BACKBONES = ("rgcn", "pna")
+APPROACHES = ("base", "infused", "rich")
+_SUFFIX = {"base": "", "infused": "-I", "rich": "-R"}
+
+
+def make_predictor(approach: str, config):
+    if approach == "base":
+        return OffTheShelfPredictor(config)
+    if approach == "infused":
+        return HierarchicalPredictor(config)
+    if approach == "rich":
+        return KnowledgeRichPredictor(config)
+    raise KeyError(f"unknown approach {approach!r}")
+
+
+def run_table4(
+    scale: ExperimentScale | None = None,
+    backbones: tuple[str, ...] = TABLE4_BACKBONES,
+    approaches: tuple[str, ...] = APPROACHES,
+    datasets: tuple[str, ...] = ("dfg", "cdfg"),
+    verbose: bool = True,
+) -> dict:
+    """Returns ``results[backbone][approach][dataset] -> MAPE[4]``."""
+    scale = scale or get_scale()
+    results: dict[str, dict[str, dict[str, np.ndarray]]] = {}
+    for dataset_name in datasets:
+        loader = load_dfg_dataset if dataset_name == "dfg" else load_cdfg_dataset
+        train, val, test = split(scale, loader(scale))
+        for backbone in backbones:
+            results.setdefault(backbone, {})
+            for approach in approaches:
+                results[backbone].setdefault(approach, {})
+                run_mapes = []
+                for run in range(scale.runs):
+                    predictor = make_predictor(
+                        approach, predictor_config(scale, backbone, seed=run)
+                    )
+                    predictor.fit(train, val)
+                    run_mapes.append(predictor.evaluate(test))
+                mape_row = np.mean(run_mapes, axis=0)
+                results[backbone][approach][dataset_name] = mape_row
+                if verbose:
+                    label = backbone.upper() + _SUFFIX[approach]
+                    print(
+                        f"[table4:{dataset_name}] {label:7s} "
+                        + " ".join(
+                            f"{t}={100 * v:6.2f}%"
+                            for t, v in zip(TARGET_NAMES, mape_row)
+                        )
+                    )
+    if verbose:
+        print()
+        print(render_table4(results, datasets))
+    return results
+
+
+def render_table4(results: dict, datasets: tuple[str, ...] = ("dfg", "cdfg")) -> str:
+    headers = ["Model"] + [
+        f"{d.upper()} {t}" for d in datasets for t in TARGET_NAMES
+    ]
+    rows = []
+    for backbone, per_approach in results.items():
+        for approach, per_dataset in per_approach.items():
+            row: list[object] = [backbone.upper() + _SUFFIX[approach]]
+            for dataset_name in datasets:
+                mape_row = per_dataset.get(dataset_name)
+                if mape_row is None:
+                    row.extend(["-"] * len(TARGET_NAMES))
+                else:
+                    row.extend(f"{100 * v:.2f}%" for v in mape_row)
+            rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Table 4 - MAPE of the three approaches (RGCN/PNA backbones)",
+    )

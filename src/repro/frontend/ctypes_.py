@@ -1,0 +1,29 @@
+"""Backwards-compatible re-export of :mod:`repro.typesys`."""
+
+from repro.typesys import (
+    CArray,
+    CInt,
+    CType,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+)
+
+__all__ = [
+    "CArray",
+    "CInt",
+    "CType",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+]

@@ -1,0 +1,240 @@
+"""Reference interpreter for the mini-C AST.
+
+Executes programs with C fixed-width integer semantics (wrap-around,
+truncating division, arithmetic right shift on signed types). Exists to
+differentially test the lowering: the AST interpreter and the IR
+interpreter (:mod:`repro.ir.interp`) must agree on every program.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_ import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Cond,
+    Decl,
+    Expr,
+    For,
+    Function,
+    If,
+    IntConst,
+    Program,
+    Return,
+    Stmt,
+    UnOp,
+    Var,
+)
+from repro.typesys import CArray, CInt
+
+
+def wrap(value: int, ctype: CInt) -> int:
+    """Reduce ``value`` to the representable range of ``ctype``."""
+    mask = (1 << ctype.width) - 1
+    value &= mask
+    if ctype.signed and value >> (ctype.width - 1):
+        value -= 1 << ctype.width
+    return value
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C division truncates toward zero (Python floors)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_rem(a: int, b: int) -> int:
+    return a - _trunc_div(a, b) * b
+
+
+class InterpreterError(RuntimeError):
+    """Raised on undefined behaviour (bad index, division by zero)."""
+
+
+class AstInterpreter:
+    """Evaluates one function given concrete argument values.
+
+    Scalars arrive as ints, arrays as mutable lists of ints. Arrays are
+    modified in place (C pointer semantics).
+    """
+
+    def __init__(self, function: Function, arguments: dict):
+        self.function = function
+        self.scalars: dict[str, int] = {}
+        self.scalar_types: dict[str, CInt] = {}
+        self.arrays: dict[str, list[int]] = {}
+        self.array_types: dict[str, CArray] = {}
+        for name, ctype in function.params:
+            if isinstance(ctype, CArray):
+                self.arrays[name] = arguments[name]
+                self.array_types[name] = ctype
+            else:
+                self.scalars[name] = wrap(int(arguments[name]), ctype)
+                self.scalar_types[name] = ctype
+
+    # -- expressions -----------------------------------------------------
+    def eval(self, expr: Expr) -> int:
+        if isinstance(expr, Var):
+            return self.scalars[expr.name]
+        if isinstance(expr, IntConst):
+            return wrap(expr.value, expr.type)
+        if isinstance(expr, ArrayRef):
+            values, ctype = self._array(expr)
+            return wrap(values[self._index(expr)], ctype.element)
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        if isinstance(expr, UnOp):
+            return self._unop(expr)
+        if isinstance(expr, Cond):
+            branch = expr.then if self.eval(expr.cond) != 0 else expr.other
+            return self.eval(branch)
+        if isinstance(expr, Call):
+            return self._call(expr)
+        raise InterpreterError(f"cannot evaluate {type(expr).__name__}")
+
+    def _array(self, ref: ArrayRef) -> tuple[list[int], CArray]:
+        if ref.name not in self.arrays:
+            raise InterpreterError(f"unknown array {ref.name!r}")
+        return self.arrays[ref.name], self.array_types[ref.name]
+
+    def _index(self, ref: ArrayRef) -> int:
+        index = self.eval(ref.index)
+        length = self.array_types[ref.name].length
+        if not 0 <= index < length:
+            raise InterpreterError(
+                f"index {index} out of bounds for {ref.name}[{length}]"
+            )
+        return index
+
+    def _type_of(self, expr: Expr) -> CInt:
+        """Static C type of an expression (mirrors the lowering rules)."""
+        if isinstance(expr, Var):
+            return self.scalar_types[expr.name]
+        if isinstance(expr, IntConst):
+            return expr.type
+        if isinstance(expr, ArrayRef):
+            return self.array_types[expr.name].element
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+                return CInt(1, signed=False)
+            if expr.op in ("<<", ">>"):
+                return self._type_of(expr.lhs)
+            lhs, rhs = self._type_of(expr.lhs), self._type_of(expr.rhs)
+            return CInt(max(lhs.width, rhs.width), lhs.signed or rhs.signed)
+        if isinstance(expr, UnOp):
+            if expr.op == "!":
+                return CInt(1, signed=False)
+            return self._type_of(expr.operand)
+        if isinstance(expr, Cond):
+            lhs, rhs = self._type_of(expr.then), self._type_of(expr.other)
+            return CInt(max(lhs.width, rhs.width), lhs.signed or rhs.signed)
+        if isinstance(expr, Call):
+            if expr.name in ("min", "max"):
+                lhs, rhs = self._type_of(expr.args[0]), self._type_of(expr.args[1])
+                return CInt(max(lhs.width, rhs.width), lhs.signed or rhs.signed)
+            return self._type_of(expr.args[0])
+        raise InterpreterError(f"no type for {type(expr).__name__}")
+
+    def _binop(self, expr: BinOp) -> int:
+        op = expr.op
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            a, b = self.eval(expr.lhs), self.eval(expr.rhs)
+            return int({
+                "<": a < b, "<=": a <= b, ">": a > b,
+                ">=": a >= b, "==": a == b, "!=": a != b,
+            }[op])
+        result_type = self._type_of(expr)
+        a, b = self.eval(expr.lhs), self.eval(expr.rhs)
+        if op in ("<<", ">>"):
+            shift = b % result_type.width
+            value = a << shift if op == "<<" else a >> shift
+            return wrap(value, result_type)
+        if op in ("/", "%"):
+            if b == 0:
+                raise InterpreterError("division by zero")
+            value = _trunc_div(a, b) if op == "/" else _trunc_rem(a, b)
+            return wrap(value, result_type)
+        value = {
+            "+": a + b, "-": a - b, "*": a * b,
+            "&": a & b, "|": a | b, "^": a ^ b,
+        }[op]
+        return wrap(value, result_type)
+
+    def _unop(self, expr: UnOp) -> int:
+        value = self.eval(expr.operand)
+        ctype = self._type_of(expr)
+        if expr.op == "-":
+            return wrap(-value, ctype)
+        if expr.op == "~":
+            return wrap(~value, ctype)
+        return int(value == 0)
+
+    def _call(self, expr: Call) -> int:
+        values = [self.eval(a) for a in expr.args]
+        if expr.name == "min":
+            return min(values)
+        if expr.name == "max":
+            return max(values)
+        if expr.name == "abs":
+            return wrap(abs(values[0]), self._type_of(expr))
+        raise InterpreterError(f"unknown intrinsic {expr.name!r}")
+
+    # -- statements --------------------------------------------------------
+    def run(self) -> int:
+        result = self._run_stmts(self.function.body)
+        if result is None:
+            return 0
+        return wrap(result, self.function.ret_type)
+
+    def _run_stmts(self, stmts: list[Stmt]) -> int | None:
+        for stmt in stmts:
+            if isinstance(stmt, Decl):
+                if isinstance(stmt.type, CArray):
+                    self.arrays[stmt.name] = [0] * stmt.type.length
+                    self.array_types[stmt.name] = stmt.type
+                else:
+                    value = self.eval(stmt.init) if stmt.init is not None else 0
+                    self.scalars[stmt.name] = wrap(value, stmt.type)
+                    self.scalar_types[stmt.name] = stmt.type
+            elif isinstance(stmt, Assign):
+                value = self.eval(stmt.expr)
+                if isinstance(stmt.target, Var):
+                    name = stmt.target.name
+                    self.scalars[name] = wrap(value, self.scalar_types[name])
+                else:
+                    values, ctype = self._array(stmt.target)
+                    values[self._index(stmt.target)] = wrap(value, ctype.element)
+            elif isinstance(stmt, If):
+                body = stmt.then_body if self.eval(stmt.cond) != 0 else stmt.else_body
+                result = self._run_stmts(body)
+                if result is not None:
+                    return result
+            elif isinstance(stmt, For):
+                saved = (
+                    self.scalars.get(stmt.var),
+                    self.scalar_types.get(stmt.var),
+                )
+                self.scalar_types[stmt.var] = CInt(32)
+                i = stmt.start
+                while (i < stmt.bound) if stmt.step > 0 else (i > stmt.bound):
+                    self.scalars[stmt.var] = wrap(i, CInt(32))
+                    result = self._run_stmts(stmt.body)
+                    if result is not None:
+                        return result
+                    i += stmt.step
+                if saved[0] is not None:
+                    self.scalars[stmt.var], self.scalar_types[stmt.var] = saved
+                else:
+                    self.scalars.pop(stmt.var, None)
+                    self.scalar_types.pop(stmt.var, None)
+            elif isinstance(stmt, Return):
+                return self.eval(stmt.expr)
+            else:
+                raise InterpreterError(f"cannot execute {type(stmt).__name__}")
+        return None
+
+
+def run_ast(program: Program, arguments: dict) -> int:
+    """Execute the top function of ``program`` on concrete arguments."""
+    return AstInterpreter(program.top, arguments).run()

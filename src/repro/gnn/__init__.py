@@ -1,0 +1,29 @@
+"""The GNN zoo: 14 architectures from the paper's Table 2 plus assembly.
+
+Layer catalogue (paper Section 4.1):
+
+- GCN family: GCN, GCN-V (virtual node), SGC, GraphSAGE, ARMA, PAN;
+- GIN family: GIN, GIN-V, PNA;
+- multi-relational: GAT, GGNN, RGCN;
+- vision-inspired: Graph U-Net, GNN-FiLM.
+"""
+
+from repro.gnn.message_passing import GraphContext
+from repro.gnn.registry import ALL_MODEL_NAMES, MODEL_SPECS, build_layer, get_spec
+from repro.gnn.network import GNNEncoder, GraphRegressor, NodeClassifier
+from repro.gnn.pooling import get_pooling, max_pool, mean_pool, sum_pool
+
+__all__ = [
+    "GraphContext",
+    "ALL_MODEL_NAMES",
+    "MODEL_SPECS",
+    "build_layer",
+    "get_spec",
+    "GNNEncoder",
+    "GraphRegressor",
+    "NodeClassifier",
+    "get_pooling",
+    "max_pool",
+    "mean_pool",
+    "sum_pool",
+]

@@ -1,0 +1,52 @@
+"""ARMA graph convolution (Bianchi et al., 2021).
+
+Each of ``K`` parallel stacks runs ``T`` recursive steps
+
+    x_k^(t+1) = sigma(L_hat x_k^(t) W_k + x^(0) V_k)
+
+and the stack outputs are averaged — an auto-regressive moving-average
+filter on the graph spectrum approximated with message passing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module, ModuleList
+from repro.tensor import Tensor
+
+
+class ARMALayer(Module):
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        stacks: int = 2,
+        steps: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if stacks < 1 or steps < 1:
+            raise ValueError("stacks and steps must be >= 1")
+        self.stacks = stacks
+        self.steps = steps
+        self.input_proj = ModuleList(
+            Linear(in_dim, out_dim, rng=rng) for _ in range(stacks)
+        )
+        self.recurrent = ModuleList(
+            Linear(out_dim, out_dim, rng=rng) for _ in range(stacks)
+        )
+        self.skip = ModuleList(
+            Linear(in_dim, out_dim, bias=False, rng=rng) for _ in range(stacks)
+        )
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        output: Tensor | None = None
+        for k in range(self.stacks):
+            h = self.input_proj[k](x)
+            root = self.skip[k](x)
+            for _ in range(self.steps):
+                h = (self.recurrent[k](ctx.propagate_gcn(h)) + root).relu()
+            output = h if output is None else output + h
+        return output / float(self.stacks)

@@ -1,0 +1,63 @@
+"""Graph attention network layer (Velickovic et al., 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module, Parameter, init
+from repro.tensor import (
+    Tensor,
+    concat,
+    gather_rows,
+    leaky_relu,
+    scatter_softmax,
+    scatter_sum,
+)
+
+
+class GATLayer(Module):
+    """Multi-head additive attention over incoming (symmetrised) edges.
+
+    Self-loops are added so every node attends at least to itself; head
+    outputs are concatenated, so ``out_dim`` must be divisible by ``heads``.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        heads: int = 4,
+        negative_slope: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if out_dim % heads:
+            raise ValueError(f"out_dim {out_dim} not divisible by heads {heads}")
+        self.heads = heads
+        self.head_dim = out_dim // heads
+        self.negative_slope = negative_slope
+        self.linear = Linear(in_dim, out_dim, bias=False, rng=rng)
+        self.att_src = Parameter(init.xavier_uniform((heads, self.head_dim), rng))
+        self.att_dst = Parameter(init.xavier_uniform((heads, self.head_dim), rng))
+        self.bias = Parameter(init.zeros((out_dim,)))
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        n = ctx.num_nodes
+        loops = np.arange(n, dtype=np.int64)
+        src = np.concatenate([ctx.sym_src, loops])
+        dst = np.concatenate([ctx.sym_dst, loops])
+
+        h = self.linear(x).reshape(n, self.heads, self.head_dim)
+        # Per-node attention contributions, [N, H].
+        alpha_src = (h * self.att_src).sum(axis=2)
+        alpha_dst = (h * self.att_dst).sum(axis=2)
+        scores = leaky_relu(
+            gather_rows(alpha_src, src) + gather_rows(alpha_dst, dst),
+            self.negative_slope,
+        )
+        attention = scatter_softmax(scores, dst, n)  # [E, H]
+        messages = gather_rows(h.reshape(n, -1), src).reshape(-1, self.heads, self.head_dim)
+        weighted = messages * attention.reshape(-1, self.heads, 1)
+        out = scatter_sum(weighted.reshape(-1, self.heads * self.head_dim), dst, n)
+        return out + self.bias

@@ -1,0 +1,47 @@
+"""Graph convolutional network layer (Kipf & Welling, 2017) and SGC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module
+from repro.tensor import Tensor
+
+
+class GCNLayer(Module):
+    """``x' = D^-1/2 (A + I) D^-1/2 x W`` on the symmetrised edge set."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        return self.linear(ctx.propagate_gcn(x))
+
+
+class SGCLayer(Module):
+    """Simplified GCN (Wu et al., 2019): ``x' = Â^K x W``.
+
+    All nonlinearity between propagation steps is removed; the network
+    builder instantiates a single SGC layer with ``K`` equal to the model
+    depth, matching the reference model.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        hops: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        self.hops = hops
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        for _ in range(self.hops):
+            x = ctx.propagate_gcn(x)
+        return self.linear(x)

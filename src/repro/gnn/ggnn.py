@@ -1,0 +1,56 @@
+"""Gated graph neural network layer (Li et al., 2016).
+
+Messages use edge-type-dependent weights; node states are updated with a
+gated recurrent unit, so ``in_dim`` must equal ``out_dim`` (the network
+builder guarantees this after the input encoder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module, ModuleList
+from repro.tensor import Tensor, gather_rows, scatter_sum
+
+
+class GGNNLayer(Module):
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_relations: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_dim != out_dim:
+            raise ValueError("GGNN requires in_dim == out_dim (recurrent update)")
+        self.num_relations = num_relations
+        self.message_linears = ModuleList(
+            Linear(in_dim, out_dim, bias=False, rng=rng) for _ in range(num_relations)
+        )
+        # GRU gates: input is the aggregated message, hidden is the node state.
+        self.w_update = Linear(out_dim, out_dim, rng=rng)
+        self.u_update = Linear(out_dim, out_dim, bias=False, rng=rng)
+        self.w_reset = Linear(out_dim, out_dim, rng=rng)
+        self.u_reset = Linear(out_dim, out_dim, bias=False, rng=rng)
+        self.w_cand = Linear(out_dim, out_dim, rng=rng)
+        self.u_cand = Linear(out_dim, out_dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        message: Tensor | None = None
+        for relation in range(min(self.num_relations, ctx.num_relations)):
+            src, dst = ctx.relation_edges(relation)
+            if len(src) == 0:
+                continue
+            transformed = self.message_linears[relation](x)
+            contribution = scatter_sum(
+                gather_rows(transformed, src), dst, ctx.num_nodes
+            )
+            message = contribution if message is None else message + contribution
+        if message is None:
+            message = x * 0.0
+        update = (self.w_update(message) + self.u_update(x)).sigmoid()
+        reset = (self.w_reset(message) + self.u_reset(x)).sigmoid()
+        candidate = (self.w_cand(message) + self.u_cand(x * reset)).tanh()
+        return x * (1.0 - update) + candidate * update

@@ -1,0 +1,23 @@
+"""Graph isomorphism network layer (Xu et al., 2019)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import MLP, Module, Parameter
+from repro.tensor import Tensor, gather_rows, scatter_sum
+
+
+class GINLayer(Module):
+    """``x' = MLP((1 + eps) x + sum_{u in N(v)} x_u)`` with trainable eps."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.eps = Parameter(np.zeros(1))
+        self.mlp = MLP([in_dim, out_dim, out_dim], rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        messages = gather_rows(x, ctx.sym_src)
+        aggregated = scatter_sum(messages, ctx.sym_dst, ctx.num_nodes)
+        return self.mlp(x * (1.0 + self.eps) + aggregated)

@@ -1,0 +1,115 @@
+"""Shared message-passing machinery.
+
+IR graphs are directed. Convolution-style layers (GCN, SAGE, GIN, ...)
+operate on the *symmetrised* edge set so information flows both along and
+against data dependencies — the standard transform for program graphs.
+Relational layers (RGCN, GGNN, FiLM) keep directionality by doubling the
+relation vocabulary: relation ``r`` for forward edges and ``r + R`` for
+their reverses.
+
+:class:`GraphContext` precomputes and caches everything layers need
+(symmetric edges, GCN normalisation, degrees, per-relation masks) once per
+batch, which dominates throughput on a numpy backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.batch import Batch
+from repro.tensor import Tensor, gather_rows, scatter_sum
+
+
+class GraphContext:
+    """Immutable per-batch topology bundle handed to every layer."""
+
+    def __init__(
+        self,
+        edge_index: np.ndarray,
+        edge_type: np.ndarray,
+        num_nodes: int,
+        batch: np.ndarray,
+        num_graphs: int,
+        num_edge_types: int,
+    ):
+        self.edge_index = np.asarray(edge_index, dtype=np.int64).reshape(2, -1)
+        self.edge_type = np.asarray(edge_type, dtype=np.int64).reshape(-1)
+        self.num_nodes = int(num_nodes)
+        self.batch = np.asarray(batch, dtype=np.int64)
+        self.num_graphs = int(num_graphs)
+        self.num_edge_types = int(num_edge_types)
+
+        src, dst = self.edge_index
+        # Symmetrised edges for conv-style layers.
+        self.sym_src = np.concatenate([src, dst])
+        self.sym_dst = np.concatenate([dst, src])
+        # Direction-aware relation ids for relational layers.
+        self.sym_rel = np.concatenate(
+            [self.edge_type, self.edge_type + self.num_edge_types]
+        )
+        self.num_relations = 2 * self.num_edge_types
+
+        # In-degree over symmetric edges (plus self-loop) for GCN norm.
+        deg = np.bincount(self.sym_dst, minlength=self.num_nodes).astype(np.float64)
+        self.sym_degree = deg
+        deg_loop = deg + 1.0
+        inv_sqrt = 1.0 / np.sqrt(deg_loop)
+        # GCN edge set = symmetric edges + self loops, with D^-1/2 A D^-1/2.
+        loops = np.arange(self.num_nodes, dtype=np.int64)
+        self.gcn_src = np.concatenate([self.sym_src, loops])
+        self.gcn_dst = np.concatenate([self.sym_dst, loops])
+        self.gcn_norm = np.concatenate(
+            [
+                inv_sqrt[self.sym_src] * inv_sqrt[self.sym_dst],
+                inv_sqrt * inv_sqrt,
+            ]
+        ).reshape(-1, 1)
+
+        self._relation_edges: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
+
+    @classmethod
+    def from_batch(cls, batch: Batch, num_edge_types: int) -> "GraphContext":
+        return cls(
+            edge_index=batch.edge_index,
+            edge_type=batch.edge_type,
+            num_nodes=batch.num_nodes,
+            batch=batch.batch,
+            num_graphs=batch.num_graphs,
+            num_edge_types=num_edge_types,
+        )
+
+    # -- cached relation partition --------------------------------------
+    def relation_edges(self, relation: int) -> tuple[np.ndarray, np.ndarray]:
+        """(src, dst) arrays of the direction-aware relation ``relation``."""
+        if self._relation_edges is None:
+            self._relation_edges = {}
+            for r in range(self.num_relations):
+                mask = self.sym_rel == r
+                self._relation_edges[r] = (self.sym_src[mask], self.sym_dst[mask])
+        return self._relation_edges[relation]
+
+    # -- aggregation helpers ---------------------------------------------
+    def propagate_gcn(self, x: Tensor) -> Tensor:
+        """One application of the normalised adjacency ``D^-1/2 Ã D^-1/2``."""
+        messages = gather_rows(x, self.gcn_src) * Tensor(self.gcn_norm)
+        return scatter_sum(messages, self.gcn_dst, self.num_nodes)
+
+    def subgraph(self, keep: np.ndarray) -> "GraphContext":
+        """Context induced on the kept nodes (used by Graph U-Net pooling).
+
+        ``keep`` is an array of node ids (ascending). Edges with both
+        endpoints kept survive, renumbered.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        remap = -np.ones(self.num_nodes, dtype=np.int64)
+        remap[keep] = np.arange(len(keep))
+        src, dst = self.edge_index
+        mask = (remap[src] >= 0) & (remap[dst] >= 0)
+        return GraphContext(
+            edge_index=np.stack([remap[src[mask]], remap[dst[mask]]]),
+            edge_type=self.edge_type[mask],
+            num_nodes=len(keep),
+            batch=self.batch[keep],
+            num_graphs=self.num_graphs,
+            num_edge_types=self.num_edge_types,
+        )

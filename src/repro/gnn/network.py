@@ -1,0 +1,166 @@
+"""Model assembly: encoder, regression head, node-classification head.
+
+The paper fixes one skeleton for all zoo entries — an input projection,
+five message-passing layers with hidden size 300, then sum/mean pooling
+and a 300-600-300-out feed-forward head — varying only the layer type.
+:class:`GNNEncoder` reproduces that skeleton (sizes are configurable so
+the scaled presets can shrink them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.gcn import SGCLayer
+from repro.gnn.message_passing import GraphContext
+from repro.gnn.pooling import get_pooling
+from repro.gnn.registry import build_layer, get_spec
+from repro.gnn.unet import GraphUNet
+from repro.gnn.virtual_node import VirtualNodeExchange, VirtualNodeState
+from repro.graph.batch import Batch
+from repro.nn import MLP, Dropout, Linear, Module, ModuleList
+from repro.tensor import Tensor
+from repro.utils.rng import fork_rng
+
+
+class GNNEncoder(Module):
+    """Input projection + a stack of message-passing layers.
+
+    Produces node embeddings of size ``hidden_dim``. Special cases:
+    SGC collapses the stack into one K-hop layer (its defining trait),
+    UNet swaps the stack for the whole Graph U-Net architecture, and
+    ``*-v`` entries interleave virtual-node exchanges.
+    """
+
+    def __init__(
+        self,
+        model_name: str,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        num_edge_types: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.spec = get_spec(model_name)
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.num_edge_types = num_edge_types
+        rng = rng if rng is not None else fork_rng()
+        num_relations = 2 * num_edge_types
+        self.input_proj = Linear(in_dim, hidden_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=fork_rng(rng)) if dropout > 0 else None
+        self.unet: GraphUNet | None = None
+        self.layers = ModuleList()
+        self.exchanges = ModuleList()
+        if self.spec.whole_architecture:
+            self.unet = GraphUNet(hidden_dim, depth=min(2, num_layers), rng=rng)
+        elif self.spec.name == "sgc":
+            self.layers.append(
+                SGCLayer(hidden_dim, hidden_dim, hops=num_layers, rng=rng)
+            )
+        else:
+            for _ in range(num_layers):
+                self.layers.append(
+                    build_layer(
+                        self.spec.name, hidden_dim, hidden_dim, num_relations, rng
+                    )
+                )
+                if self.spec.virtual_node:
+                    self.exchanges.append(VirtualNodeExchange(hidden_dim, rng=rng))
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        h = self.input_proj(x).relu()
+        if self.unet is not None:
+            return self.unet(h, ctx)
+        if self.spec.name == "sgc":
+            return self.layers[0](h, ctx)
+        state = (
+            VirtualNodeState(ctx.num_graphs, self.hidden_dim)
+            if self.spec.virtual_node
+            else None
+        )
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            if state is not None:
+                h, state = self.exchanges[i](h, state, ctx)
+            h = layer(h, ctx)
+            if i != last:
+                h = h.relu()
+                if self.dropout is not None:
+                    h = self.dropout(h)
+        return h
+
+    def context_for(self, batch: Batch) -> GraphContext:
+        return GraphContext.from_batch(batch, self.num_edge_types)
+
+
+class GraphRegressor(Module):
+    """Encoder + pooling + feed-forward head: graph-level regression.
+
+    With the paper's defaults (hidden 300) the head is 300-600-300-out,
+    matching Section 5.1.
+    """
+
+    def __init__(
+        self,
+        model_name: str,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        num_edge_types: int,
+        out_dim: int = 4,
+        pooling: str = "sum",
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else fork_rng()
+        self.encoder = GNNEncoder(
+            model_name, in_dim, hidden_dim, num_layers, num_edge_types, dropout, rng
+        )
+        self.pooling = get_pooling(pooling)
+        self.head = MLP(
+            [hidden_dim, 2 * hidden_dim, hidden_dim, out_dim],
+            dropout=dropout,
+            rng=rng,
+        )
+        self.out_dim = out_dim
+
+    def forward(self, batch: Batch) -> Tensor:
+        ctx = self.encoder.context_for(batch)
+        nodes = self.encoder(Tensor(batch.node_features), ctx)
+        pooled = self.pooling(nodes, ctx)
+        return self.head(pooled)
+
+
+class NodeClassifier(Module):
+    """Encoder + linear head emitting 3 binary logits per node
+    (uses-DSP, uses-LUT, uses-FF) — the node-level task of Table 3."""
+
+    def __init__(
+        self,
+        model_name: str,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        num_edge_types: int,
+        num_tasks: int = 3,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else fork_rng()
+        self.encoder = GNNEncoder(
+            model_name, in_dim, hidden_dim, num_layers, num_edge_types, dropout, rng
+        )
+        self.head = Linear(hidden_dim, num_tasks, rng=rng)
+        self.num_tasks = num_tasks
+
+    def forward(self, batch: Batch) -> Tensor:
+        ctx = self.encoder.context_for(batch)
+        nodes = self.encoder(Tensor(batch.node_features), ctx)
+        return self.head(nodes)

@@ -1,0 +1,41 @@
+"""Path-integral based graph convolution, PAN (Ma et al., 2020).
+
+PAN replaces the single-hop adjacency with the maximal-entropy-transition
+matrix ``M = sum_l w_l A^l``: every path of length ``l`` contributes with a
+trainable weight. We normalise the hop weights with a softmax so the
+operator stays a convex combination of powers of the normalised adjacency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module, Parameter
+from repro.tensor import Tensor, softmax, stack
+
+
+class PANLayer(Module):
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        max_path_len: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if max_path_len < 1:
+            raise ValueError("max_path_len must be >= 1")
+        self.max_path_len = max_path_len
+        self.hop_logits = Parameter(np.zeros(max_path_len + 1))
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        weights = softmax(self.hop_logits, axis=0)
+        powers = [x]
+        for _ in range(self.max_path_len):
+            powers.append(ctx.propagate_gcn(powers[-1]))
+        # Weighted sum over path lengths: [L+1, N, D] contracted with [L+1].
+        stacked = stack(powers, axis=0)
+        mixed = (stacked * weights.reshape(-1, 1, 1)).sum(axis=0)
+        return self.linear(mixed)

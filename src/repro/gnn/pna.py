@@ -1,0 +1,54 @@
+"""Principal neighbourhood aggregation, PNA (Corso et al., 2020).
+
+Combines four aggregators (mean, max, min, std) with three degree scalers
+(identity, amplification, attenuation) and mixes the twelve resulting
+views plus the root embedding with a linear tower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module
+from repro.tensor import (
+    Tensor,
+    concat,
+    gather_rows,
+    scatter_max,
+    scatter_mean,
+    scatter_min,
+    scatter_std,
+)
+
+
+class PNALayer(Module):
+    N_AGGREGATORS = 4
+    N_SCALERS = 3
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        mixed_dim = in_dim * (1 + self.N_AGGREGATORS * self.N_SCALERS)
+        self.linear = Linear(mixed_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        messages = gather_rows(x, ctx.sym_src)
+        aggregated = [
+            scatter_mean(messages, ctx.sym_dst, ctx.num_nodes),
+            scatter_max(messages, ctx.sym_dst, ctx.num_nodes),
+            scatter_min(messages, ctx.sym_dst, ctx.num_nodes),
+            scatter_std(messages, ctx.sym_dst, ctx.num_nodes),
+        ]
+        log_deg = np.log1p(ctx.sym_degree).reshape(-1, 1)
+        # Average log-degree of the batch anchors the scalers (the PNA
+        # paper uses the training-set average; the batch average is the
+        # streaming equivalent and keeps the layer stateless).
+        delta = max(float(log_deg.mean()), 1e-6)
+        amplify = Tensor(log_deg / delta)
+        attenuate = Tensor(delta / np.maximum(log_deg, 1e-6))
+        views = [x]
+        for agg in aggregated:
+            views.append(agg)
+            views.append(agg * amplify)
+            views.append(agg * attenuate)
+        return self.linear(concat(views, axis=1))

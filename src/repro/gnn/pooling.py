@@ -1,0 +1,42 @@
+"""Graph-level readout (pooling) functions."""
+
+from __future__ import annotations
+
+from repro.gnn.message_passing import GraphContext
+from repro.tensor import Tensor, scatter_max, scatter_mean, scatter_sum
+
+_POOLERS = {}
+
+
+def register_pooling(name: str):
+    def decorator(fn):
+        _POOLERS[name] = fn
+        return fn
+
+    return decorator
+
+
+@register_pooling("sum")
+def sum_pool(x: Tensor, ctx: GraphContext) -> Tensor:
+    """Sum node embeddings per graph — the natural readout for additive
+    quantities such as resource usage."""
+    return scatter_sum(x, ctx.batch, ctx.num_graphs)
+
+
+@register_pooling("mean")
+def mean_pool(x: Tensor, ctx: GraphContext) -> Tensor:
+    return scatter_mean(x, ctx.batch, ctx.num_graphs)
+
+
+@register_pooling("max")
+def max_pool(x: Tensor, ctx: GraphContext) -> Tensor:
+    return scatter_max(x, ctx.batch, ctx.num_graphs)
+
+
+def get_pooling(name: str):
+    try:
+        return _POOLERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pooling '{name}', available: {sorted(_POOLERS)}"
+        ) from None

@@ -1,0 +1,101 @@
+"""The 14-model zoo screened in Table 2 of the paper.
+
+Names follow the paper's rows: GCN, GCN-V, SGC, SAGE, ARMA, PAN, GIN,
+GIN-V, PNA, GAT, GGNN, RGCN, UNet, FiLM. ``build_layer`` creates one
+message-passing layer; virtual-node and whole-architecture variants are
+resolved by :class:`repro.gnn.network.GNNEncoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gnn.arma import ARMALayer
+from repro.gnn.film import FiLMLayer
+from repro.gnn.gat import GATLayer
+from repro.gnn.gcn import GCNLayer, SGCLayer
+from repro.gnn.ggnn import GGNNLayer
+from repro.gnn.gin import GINLayer
+from repro.gnn.pan import PANLayer
+from repro.gnn.pna import PNALayer
+from repro.gnn.rgcn import RGCNLayer
+from repro.gnn.sage import SAGELayer
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one zoo entry."""
+
+    name: str
+    paper_row: str
+    relational: bool  # consumes direction-aware edge types
+    virtual_node: bool = False
+    whole_architecture: bool = False  # e.g. Graph U-Net
+
+
+MODEL_SPECS: dict[str, ModelSpec] = {
+    "gcn": ModelSpec("gcn", "GCN", relational=False),
+    "gcn-v": ModelSpec("gcn-v", "GCN-V", relational=False, virtual_node=True),
+    "sgc": ModelSpec("sgc", "SGC", relational=False),
+    "sage": ModelSpec("sage", "SAGE", relational=False),
+    "arma": ModelSpec("arma", "ARMA", relational=False),
+    "pan": ModelSpec("pan", "PAN", relational=False),
+    "gin": ModelSpec("gin", "GIN", relational=False),
+    "gin-v": ModelSpec("gin-v", "GIN-V", relational=False, virtual_node=True),
+    "pna": ModelSpec("pna", "PNA", relational=False),
+    "gat": ModelSpec("gat", "GAT", relational=False),
+    "ggnn": ModelSpec("ggnn", "GGNN", relational=True),
+    "rgcn": ModelSpec("rgcn", "RGCN", relational=True),
+    "unet": ModelSpec("unet", "UNet", relational=False, whole_architecture=True),
+    "film": ModelSpec("film", "FiLM", relational=True),
+}
+
+ALL_MODEL_NAMES = tuple(MODEL_SPECS)
+
+
+def get_spec(name: str) -> ModelSpec:
+    key = name.lower()
+    if key not in MODEL_SPECS:
+        raise KeyError(f"unknown GNN model '{name}', available: {list(MODEL_SPECS)}")
+    return MODEL_SPECS[key]
+
+
+def build_layer(
+    name: str,
+    in_dim: int,
+    out_dim: int,
+    num_relations: int,
+    rng: np.random.Generator | None = None,
+):
+    """Instantiate one message-passing layer for zoo entry ``name``.
+
+    ``num_relations`` is the direction-aware relation count
+    (2 x edge types); only relational layers use it.
+    """
+    key = name.lower()
+    base = key.removesuffix("-v")
+    if base == "gcn":
+        return GCNLayer(in_dim, out_dim, rng=rng)
+    if base == "sgc":
+        return SGCLayer(in_dim, out_dim, hops=1, rng=rng)
+    if base == "sage":
+        return SAGELayer(in_dim, out_dim, rng=rng)
+    if base == "arma":
+        return ARMALayer(in_dim, out_dim, rng=rng)
+    if base == "pan":
+        return PANLayer(in_dim, out_dim, rng=rng)
+    if base == "gin":
+        return GINLayer(in_dim, out_dim, rng=rng)
+    if base == "pna":
+        return PNALayer(in_dim, out_dim, rng=rng)
+    if base == "gat":
+        return GATLayer(in_dim, out_dim, rng=rng)
+    if base == "ggnn":
+        return GGNNLayer(in_dim, out_dim, num_relations, rng=rng)
+    if base == "rgcn":
+        return RGCNLayer(in_dim, out_dim, num_relations, rng=rng)
+    if base == "film":
+        return FiLMLayer(in_dim, out_dim, num_relations, rng=rng)
+    raise KeyError(f"no layer builder for '{name}'")

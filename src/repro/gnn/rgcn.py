@@ -1,0 +1,47 @@
+"""Relational GCN layer (Schlichtkrull et al., 2018).
+
+One weight matrix per direction-aware relation; per-relation mean
+normalisation (``1/c_{v,r}``) as in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module, ModuleList
+from repro.tensor import Tensor, gather_rows, scatter_mean
+
+
+class RGCNLayer(Module):
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_relations: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_relations < 1:
+            raise ValueError("num_relations must be >= 1")
+        self.num_relations = num_relations
+        self.self_loop = Linear(in_dim, out_dim, rng=rng)
+        self.relation_linears = ModuleList(
+            Linear(in_dim, out_dim, bias=False, rng=rng) for _ in range(num_relations)
+        )
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        if ctx.num_relations != self.num_relations:
+            raise ValueError(
+                f"layer built for {self.num_relations} relations, "
+                f"context has {ctx.num_relations}"
+            )
+        out = self.self_loop(x)
+        for relation in range(self.num_relations):
+            src, dst = ctx.relation_edges(relation)
+            if len(src) == 0:
+                continue
+            transformed = self.relation_linears[relation](x)
+            messages = gather_rows(transformed, src)
+            out = out + scatter_mean(messages, dst, ctx.num_nodes)
+        return out

@@ -1,0 +1,23 @@
+"""GraphSAGE layer (Hamilton et al., 2017) with mean aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Linear, Module
+from repro.tensor import Tensor, gather_rows, scatter_mean
+
+
+class SAGELayer(Module):
+    """``x' = W_root x + W_nbr mean_{u in N(v)} x_u`` over symmetric edges."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.lin_root = Linear(in_dim, out_dim, rng=rng)
+        self.lin_neighbor = Linear(in_dim, out_dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        messages = gather_rows(x, ctx.sym_src)
+        aggregated = scatter_mean(messages, ctx.sym_dst, ctx.num_nodes)
+        return self.lin_root(x) + self.lin_neighbor(aggregated)

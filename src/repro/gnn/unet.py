@@ -1,0 +1,96 @@
+"""Graph U-Net encoder (Gao & Ji, 2019).
+
+An encoder-decoder over the node set: gPool (top-k by a learned score)
+coarsens the graph, gUnpool restores resolution, and skip connections add
+encoder features back in. Unlike the flat stacks in the zoo this is a
+whole architecture, registered as such.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.gcn import GCNLayer
+from repro.gnn.message_passing import GraphContext
+from repro.nn import Module, ModuleList, Parameter, init
+from repro.tensor import Tensor, sigmoid
+
+
+class TopKPool(Module):
+    """Learned top-k node selection within each graph of the batch."""
+
+    def __init__(self, dim: int, ratio: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.score_vector = Parameter(init.xavier_uniform((dim, 1), rng))
+
+    def select(self, x: Tensor, ctx: GraphContext) -> tuple[np.ndarray, Tensor]:
+        """Return (kept node ids ascending, gate values for kept nodes)."""
+        norm = float(np.linalg.norm(self.score_vector.data)) + 1e-12
+        scores = (x @ self.score_vector) / norm  # [N, 1]
+        raw = scores.data.reshape(-1)
+        keep_ids: list[np.ndarray] = []
+        for graph in range(ctx.num_graphs):
+            members = np.flatnonzero(ctx.batch == graph)
+            if len(members) == 0:
+                continue
+            k = max(1, int(np.ceil(self.ratio * len(members))))
+            top = members[np.argsort(-raw[members], kind="stable")[:k]]
+            keep_ids.append(np.sort(top))
+        keep = np.concatenate(keep_ids) if keep_ids else np.empty(0, dtype=np.int64)
+        gate = sigmoid(scores[keep])
+        return keep, gate
+
+
+class GraphUNet(Module):
+    """Two-level U-shaped GNN producing node embeddings.
+
+    Encoder: GCN -> pool -> GCN -> pool -> bottom GCN.
+    Decoder: unpool -> GCN (+skip) -> unpool -> GCN (+skip).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        depth: int = 2,
+        ratio: float = 0.5,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.down_convs = ModuleList(GCNLayer(dim, dim, rng=rng) for _ in range(depth + 1))
+        self.pools = ModuleList(TopKPool(dim, ratio, rng=rng) for _ in range(depth))
+        self.up_convs = ModuleList(GCNLayer(dim, dim, rng=rng) for _ in range(depth))
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        contexts = [ctx]
+        skips: list[Tensor] = []
+        keeps: list[np.ndarray] = []
+        h = self.down_convs[0](x, ctx).relu()
+        for level in range(self.depth):
+            skips.append(h)
+            keep, gate = self.pools[level].select(h, contexts[-1])
+            keeps.append(keep)
+            sub = contexts[-1].subgraph(keep)
+            contexts.append(sub)
+            h = h[keep] * gate
+            h = self.down_convs[level + 1](h, sub).relu()
+        for level in reversed(range(self.depth)):
+            # gUnpool: place coarse embeddings back at their original slots.
+            parent_ctx = contexts[level]
+            restored = _unpool(h, keeps[level], parent_ctx.num_nodes)
+            h = self.up_convs[level](restored + skips[level], parent_ctx)
+            if level != 0:
+                h = h.relu()
+        return h
+
+
+def _unpool(h: Tensor, keep: np.ndarray, num_nodes: int) -> Tensor:
+    """Scatter coarse rows back into an all-zeros fine-resolution tensor."""
+    from repro.tensor import scatter_sum
+
+    return scatter_sum(h, keep, num_nodes)

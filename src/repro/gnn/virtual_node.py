@@ -1,0 +1,37 @@
+"""Virtual-node augmentation (Gilmer et al., 2017).
+
+A per-graph latent node exchanges information with every real node
+between message-passing layers, giving distant nodes a two-hop channel.
+Used for the GCN-V and GIN-V zoo entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import GraphContext
+from repro.nn import MLP, Module
+from repro.tensor import Tensor, gather_rows, scatter_sum
+
+
+class VirtualNodeState:
+    """Holds the per-graph virtual embedding across layers of one pass."""
+
+    def __init__(self, num_graphs: int, dim: int):
+        self.embedding = Tensor(np.zeros((num_graphs, dim)))
+
+
+class VirtualNodeExchange(Module):
+    """One exchange step: update the virtual node, broadcast back."""
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.update = MLP([dim, dim, dim], rng=rng)
+
+    def forward(
+        self, x: Tensor, state: VirtualNodeState, ctx: GraphContext
+    ) -> tuple[Tensor, VirtualNodeState]:
+        pooled = scatter_sum(x, ctx.batch, ctx.num_graphs)
+        new_embedding = self.update(pooled + state.embedding)
+        state.embedding = new_embedding
+        return x + gather_rows(new_embedding, ctx.batch), state

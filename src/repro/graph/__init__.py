@@ -1,0 +1,7 @@
+"""Graph containers: single graphs, mini-batches, validation."""
+
+from repro.graph.data import GraphData
+from repro.graph.batch import Batch
+from repro.graph.validation import validate_graph
+
+__all__ = ["GraphData", "Batch", "validate_graph"]

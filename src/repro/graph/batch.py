@@ -1,0 +1,82 @@
+"""Mini-batching by disjoint union (the PyG convention).
+
+Graphs are concatenated into one big disconnected graph; ``batch`` maps
+each node to its source graph so pooling can separate them again.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.data import GraphData
+
+
+class Batch:
+    """Disjoint union of :class:`GraphData` samples."""
+
+    def __init__(self, graphs: Sequence[GraphData]):
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        dims = {g.feature_dim for g in graphs}
+        if len(dims) != 1:
+            raise ValueError(f"inconsistent feature dims in batch: {sorted(dims)}")
+        self.graphs = list(graphs)
+        counts = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        self.ptr = offsets
+        self.num_graphs = len(graphs)
+        self.num_nodes = int(offsets[-1])
+        self.node_features = np.concatenate([g.node_features for g in graphs], axis=0)
+        self.edge_index = np.concatenate(
+            [g.edge_index + offsets[i] for i, g in enumerate(graphs)], axis=1
+        )
+        self.edge_type = np.concatenate([g.edge_type for g in graphs])
+        self.edge_back = np.concatenate([g.edge_back for g in graphs])
+        self.batch = np.repeat(np.arange(self.num_graphs, dtype=np.int64), counts)
+        self.y = (
+            np.stack([g.y for g in graphs])
+            if all(g.y is not None for g in graphs)
+            else None
+        )
+        self.node_labels = (
+            np.concatenate([g.node_labels for g in graphs], axis=0)
+            if all(g.node_labels is not None for g in graphs)
+            else None
+        )
+        self.node_resources = (
+            np.concatenate([g.node_resources for g in graphs], axis=0)
+            if all(g.node_resources is not None for g in graphs)
+            else None
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.node_features.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"Batch(graphs={self.num_graphs}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+
+def iter_batches(
+    graphs: Sequence[GraphData],
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+):
+    """Yield :class:`Batch` objects, shuffling when ``rng`` is given."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(graphs))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(graphs), batch_size):
+        chunk = [graphs[i] for i in order[start : start + batch_size]]
+        yield Batch(chunk)

@@ -1,0 +1,92 @@
+"""The per-program graph record consumed by every GNN model.
+
+A :class:`GraphData` is the fully *encoded* form of an IR graph: dense node
+features (Table 1 of the paper), integer edge types with back-edge flags,
+graph-level regression targets (DSP/LUT/FF/CP) and node-level resource-type
+labels. Construction from IR happens in :mod:`repro.dataset.features`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GraphData:
+    """One graph sample.
+
+    Attributes
+    ----------
+    node_features:
+        ``[num_nodes, feature_dim]`` float array (encoded Table-1 features).
+    edge_index:
+        ``[2, num_edges]`` int array of (source, target) node ids.
+    edge_type:
+        ``[num_edges]`` int array of discrete edge-type ids.
+    edge_back:
+        ``[num_edges]`` 0/1 array marking CDFG back edges.
+    y:
+        ``[4]`` float array of graph targets ``(DSP, LUT, FF, CP)`` or None.
+    node_labels:
+        ``[num_nodes, 3]`` 0/1 array of per-node resource types
+        ``(uses DSP, uses LUT, uses FF)`` or None.
+    node_resources:
+        ``[num_nodes, 3]`` float array of per-node resource *values* from
+        intermediate HLS results (knowledge-rich features) or None.
+    meta:
+        Free-form provenance (program name, graph kind "dfg"/"cdfg", suite).
+    """
+
+    node_features: np.ndarray
+    edge_index: np.ndarray
+    edge_type: np.ndarray
+    edge_back: np.ndarray
+    y: np.ndarray | None = None
+    node_labels: np.ndarray | None = None
+    node_resources: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.node_features = np.asarray(self.node_features, dtype=np.float64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64).reshape(2, -1)
+        self.edge_type = np.asarray(self.edge_type, dtype=np.int64).reshape(-1)
+        self.edge_back = np.asarray(self.edge_back, dtype=np.int64).reshape(-1)
+        if self.y is not None:
+            self.y = np.asarray(self.y, dtype=np.float64).reshape(-1)
+        if self.node_labels is not None:
+            self.node_labels = np.asarray(self.node_labels, dtype=np.float64)
+        if self.node_resources is not None:
+            self.node_resources = np.asarray(self.node_resources, dtype=np.float64)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.node_features.shape[1]
+
+    def with_features(self, node_features: np.ndarray) -> "GraphData":
+        """Copy of this graph with replaced node features (same topology)."""
+        return GraphData(
+            node_features=node_features,
+            edge_index=self.edge_index,
+            edge_type=self.edge_type,
+            edge_back=self.edge_back,
+            y=self.y,
+            node_labels=self.node_labels,
+            node_resources=self.node_resources,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphData(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"features={self.feature_dim}, kind={self.meta.get('kind', '?')})"
+        )

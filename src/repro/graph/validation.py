@@ -1,0 +1,48 @@
+"""Structural validation of graph samples (used by dataset builders)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.data import GraphData
+
+
+class GraphValidationError(ValueError):
+    """Raised when a graph sample is internally inconsistent."""
+
+
+def validate_graph(graph: GraphData) -> None:
+    """Raise :class:`GraphValidationError` on any structural problem."""
+    n = graph.num_nodes
+    if n == 0:
+        raise GraphValidationError("graph has no nodes")
+    if not np.isfinite(graph.node_features).all():
+        raise GraphValidationError("non-finite node features")
+    if graph.num_edges:
+        lo, hi = graph.edge_index.min(), graph.edge_index.max()
+        if lo < 0 or hi >= n:
+            raise GraphValidationError(
+                f"edge index out of range [0, {n}): min={lo}, max={hi}"
+            )
+    if graph.edge_type.shape[0] != graph.num_edges:
+        raise GraphValidationError("edge_type length mismatch")
+    if graph.edge_back.shape[0] != graph.num_edges:
+        raise GraphValidationError("edge_back length mismatch")
+    if not np.isin(graph.edge_back, (0, 1)).all():
+        raise GraphValidationError("edge_back must be 0/1")
+    if graph.y is not None:
+        if graph.y.shape != (4,):
+            raise GraphValidationError(f"y must have shape (4,), got {graph.y.shape}")
+        if not np.isfinite(graph.y).all():
+            raise GraphValidationError("non-finite targets")
+    if graph.node_labels is not None:
+        if graph.node_labels.shape != (n, 3):
+            raise GraphValidationError(
+                f"node_labels must be ({n}, 3), got {graph.node_labels.shape}"
+            )
+        if not np.isin(graph.node_labels, (0.0, 1.0)).all():
+            raise GraphValidationError("node_labels must be binary")
+    if graph.node_resources is not None and graph.node_resources.shape != (n, 3):
+        raise GraphValidationError(
+            f"node_resources must be ({n}, 3), got {graph.node_resources.shape}"
+        )

@@ -1,0 +1,93 @@
+"""Human-readable reports of HLS results (schedule Gantt, binding table).
+
+These are the debugging views an HLS engineer expects: which cycle every
+operation landed in, which functional units exist and who shares them,
+and where the resources went.
+"""
+
+from __future__ import annotations
+
+from repro.hls.flow import HLSResult
+from repro.ir.opcodes import Opcode
+from repro.utils.tables import format_table
+
+
+def schedule_report(result: HLSResult) -> str:
+    """Per-block schedule: one row per instruction with cycle/offset."""
+    rows = []
+    for block in result.function.blocks:
+        for inst in block.instructions:
+            slot = result.schedule.slots[inst.id]
+            rows.append([
+                block.name,
+                inst.name,
+                str(inst.opcode),
+                inst.bitwidth,
+                slot.cycle,
+                f"{slot.offset:.2f}",
+                slot.finish_cycle,
+            ])
+    return format_table(
+        ["block", "op", "opcode", "width", "cycle", "offset(ns)", "finish"],
+        rows,
+        title=f"Schedule of {result.function.name} "
+        f"({result.schedule.total_states} states, "
+        f"worst chain {result.schedule.max_chain_ns:.2f} ns)",
+    )
+
+
+def binding_report(result: HLSResult) -> str:
+    """Functional units with sharing and replication."""
+    rows = []
+    for i, unit in enumerate(result.binding.units):
+        rows.append([
+            f"FU{i}",
+            unit.family,
+            unit.width,
+            unit.num_sharers,
+            unit.replicas,
+            unit.character.dsp,
+            unit.character.lut,
+            unit.mux_lut,
+        ])
+    return format_table(
+        ["unit", "family", "width", "sharers", "replicas", "DSP", "LUT", "muxLUT"],
+        rows,
+        title=f"Binding of {result.function.name} "
+        f"(datapath: {result.binding.datapath_dsp} DSP, "
+        f"{result.binding.datapath_lut:.0f} LUT)",
+    )
+
+
+def resource_breakdown(result: HLSResult) -> str:
+    """Where the implemented resources come from."""
+    per_opcode: dict[str, list[float]] = {}
+    for inst in result.function.instructions():
+        dsp, lut, ff = result.node_resources[inst.id]
+        bucket = per_opcode.setdefault(str(inst.opcode), [0.0, 0.0, 0.0, 0])
+        bucket[0] += dsp
+        bucket[1] += lut
+        bucket[2] += ff
+        bucket[3] += 1
+    rows = [
+        [op, f"{v[0]:.1f}", f"{v[1]:.0f}", f"{v[2]:.0f}", v[3]]
+        for op, v in sorted(per_opcode.items(), key=lambda kv: -kv[1][1])
+        if any(x > 0 for x in kv_values(v))
+    ]
+    return format_table(
+        ["opcode", "DSP", "LUT", "FF", "ops"],
+        rows,
+        title=f"Datapath attribution of {result.function.name} "
+        f"(implemented: {result.impl.dsp:.0f} DSP, {result.impl.lut:.0f} LUT, "
+        f"{result.impl.ff:.0f} FF, CP {result.impl.cp_ns:.2f} ns)",
+    )
+
+
+def kv_values(bucket: list[float]) -> list[float]:
+    return bucket[:3]
+
+
+def full_report(result: HLSResult) -> str:
+    return "\n\n".join(
+        [schedule_report(result), binding_report(result), resource_breakdown(result)]
+    )

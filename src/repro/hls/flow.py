@@ -1,0 +1,87 @@
+"""The end-to-end HLS flow: schedule -> bind -> FSM -> implement -> report.
+
+``run_hls`` is the single entry point the dataset builder calls per
+program; its :class:`HLSResult` carries everything the benchmark needs:
+
+- ground-truth graph labels (``impl``: DSP/LUT/FF/CP after implementation),
+- the biased synthesis report (``report``: the paper's "HLS" baseline),
+- per-node resource values (knowledge-*rich* auxiliary features),
+- per-node resource types (knowledge-*infused* node-classification labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.binding import Binding, bind_function
+from repro.hls.fsm import FSMCost, fsm_cost
+from repro.hls.implementation import (
+    ImplMetrics,
+    implement,
+    pipeline_registers,
+)
+from repro.hls.report import synthesis_report
+from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
+from repro.hls.scheduling import Schedule, schedule_function
+from repro.ir.function import IRFunction
+
+
+@dataclass
+class HLSResult:
+    function: IRFunction
+    schedule: Schedule
+    binding: Binding
+    fsm: FSMCost
+    impl: ImplMetrics
+    report: ImplMetrics
+    #: instruction id -> (dsp, lut, ff) value attribution
+    node_resources: dict[int, tuple[float, float, float]]
+    #: instruction id -> (uses_dsp, uses_lut, uses_ff) in {0, 1}
+    node_types: dict[int, tuple[int, int, int]]
+
+
+def run_hls(
+    function: IRFunction,
+    device: DeviceModel = DEFAULT_DEVICE,
+    dsp_limit: int | None = None,
+) -> HLSResult:
+    """Run the full simulated flow on one IR function."""
+    from repro.hls.loops import unroll_factors
+
+    schedule = schedule_function(function, device=device, dsp_limit=dsp_limit)
+    unroll = unroll_factors(function)
+    binding = bind_function(function, schedule, unroll=unroll)
+    fsm = fsm_cost(function, schedule)
+    impl = implement(function, schedule, binding, fsm, device=device, unroll=unroll)
+    report = synthesis_report(
+        function,
+        schedule,
+        fsm,
+        device=device,
+        bound_dsp=binding.datapath_dsp,
+        unroll=unroll,
+    )
+
+    # Final per-node attribution: FU share plus pipeline registers.
+    registers = pipeline_registers(function, schedule, unroll)
+    node_resources: dict[int, tuple[float, float, float]] = {}
+    node_types: dict[int, tuple[int, int, int]] = {}
+    for inst in function.instructions():
+        dsp, lut, ff = binding.node_resources.get(inst.id, (0.0, 0.0, 0.0))
+        ff += registers.get(inst.id, 0)
+        node_resources[inst.id] = (dsp, lut, ff)
+        node_types[inst.id] = (
+            int(dsp > 0.01),
+            int(lut > 0.5),
+            int(ff > 0.5),
+        )
+    return HLSResult(
+        function=function,
+        schedule=schedule,
+        binding=binding,
+        fsm=fsm,
+        impl=impl,
+        report=report,
+        node_resources=node_resources,
+        node_types=node_types,
+    )

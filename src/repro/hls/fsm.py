@@ -1,0 +1,33 @@
+"""Finite-state-machine (controller) cost model.
+
+The HLS controller is a one-hot/encoded FSM stepping through the schedule
+states of every basic block; its cost scales with the number of states,
+CFG transitions and the enables it must drive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hls.scheduling import Schedule
+from repro.ir.cfg import successors
+from repro.ir.function import IRFunction
+
+
+@dataclass(frozen=True)
+class FSMCost:
+    states: int
+    transitions: int
+    lut: float
+    ff: float
+
+
+def fsm_cost(function: IRFunction, schedule: Schedule) -> FSMCost:
+    states = max(1, schedule.total_states)
+    transitions = sum(len(t) for t in successors(function).values())
+    state_bits = max(1, math.ceil(math.log2(states + 1)))
+    # Next-state logic + decoded enables + branch steering.
+    lut = states * 1.4 + transitions * 2.0 + state_bits * 3.0
+    ff = float(state_bits)
+    return FSMCost(states=states, transitions=transitions, lut=lut, ff=ff)

@@ -1,0 +1,124 @@
+"""Natural-loop analysis and trip-count extraction.
+
+HLS tools unroll small loops, replicating the body datapath; the trip
+count lives in the *values* of IR constants (loop bound/step), which the
+graph features expose only as "a constant node". Modelling unrolling
+therefore injects exactly the control-dependent resource variance that
+makes CDFG prediction harder than DFG prediction in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import back_edges, predecessors
+from repro.ir.function import IRFunction
+from repro.ir.opcodes import Opcode
+from repro.ir.values import Constant, Instruction
+
+#: Loops with at most this many iterations are fully unrolled.
+UNROLL_THRESHOLD = 8
+#: Cap on the combined (nested) replication factor.
+MAX_UNROLL_FACTOR = 16
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    header: str
+    latch: str
+    blocks: frozenset[str]
+    trip_count: int | None  # None = not statically known
+
+    @property
+    def unrolled(self) -> bool:
+        return self.trip_count is not None and self.trip_count <= UNROLL_THRESHOLD
+
+
+def _loop_blocks(function: IRFunction, header: str, latch: str) -> frozenset[str]:
+    """Natural loop of back edge latch->header: blocks reaching the latch
+    without passing through the header."""
+    preds = predecessors(function)
+    members = {header, latch}
+    frontier = [latch]
+    while frontier:
+        block = frontier.pop()
+        for pred in preds[block]:
+            if pred not in members:
+                members.add(pred)
+                frontier.append(pred)
+    return frozenset(members)
+
+
+def _trip_count(function: IRFunction, header: str, latch: str) -> int | None:
+    """Recover the trip count of a canonical counted loop.
+
+    Pattern: ``phi = [start_const, step_inst]`` in the header,
+    ``icmp(phi, bound_const)`` steering the header branch, and
+    ``step_inst = add(phi, step_const)`` in the latch.
+    """
+    header_block = function.block(header)
+    for phi in header_block.phis:
+        if len(phi.operands) != 2:
+            continue
+        start = step_inst = None
+        for value, block in zip(phi.operands, phi.incoming_blocks):
+            if block == latch and isinstance(value, Instruction):
+                step_inst = value
+            elif isinstance(value, Constant):
+                start = value.value
+        if start is None or step_inst is None:
+            continue
+        if step_inst.opcode != Opcode.ADD or len(step_inst.operands) != 2:
+            continue
+        increment = step_inst.operands[1]
+        if not isinstance(increment, Constant) or increment.value == 0:
+            continue
+        step = increment.value
+        for inst in header_block.instructions:
+            if inst.opcode != Opcode.ICMP or phi not in inst.operands:
+                continue
+            bound = next(
+                (o for o in inst.operands if isinstance(o, Constant)), None
+            )
+            if bound is None:
+                continue
+            span = bound.value - start
+            if step > 0 and span > 0:
+                return max(0, -(-span // step))
+            if step < 0 and span < 0:
+                return max(0, -(span // -step))
+    return None
+
+
+def analyze_loops(function: IRFunction) -> list[LoopInfo]:
+    """All natural loops of ``function`` with trip counts when statically
+    recoverable."""
+    loops = []
+    for latch, header in sorted(back_edges(function)):
+        loops.append(
+            LoopInfo(
+                header=header,
+                latch=latch,
+                blocks=_loop_blocks(function, header, latch),
+                trip_count=_trip_count(function, header, latch),
+            )
+        )
+    return loops
+
+
+def unroll_factors(function: IRFunction) -> dict[str, int]:
+    """Per-block datapath replication factor after unrolling.
+
+    A block inside k nested unrolled loops is replicated by the product
+    of their trip counts (capped at :data:`MAX_UNROLL_FACTOR`); blocks in
+    rolled loops keep factor 1.
+    """
+    factors = {block.name: 1 for block in function.blocks}
+    for loop in analyze_loops(function):
+        if not loop.unrolled:
+            continue
+        for name in loop.blocks:
+            factors[name] = min(
+                MAX_UNROLL_FACTOR, factors[name] * loop.trip_count
+            )
+    return factors

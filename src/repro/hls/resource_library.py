@@ -1,0 +1,147 @@
+"""Per-operation resource/timing characterisation.
+
+Numbers are modelled on a Xilinx 7-series-style fabric: 6-input LUTs,
+DSP48 blocks handling up-to-18x18 multiplies, registered multi-cycle
+dividers. They do not need to match any datasheet exactly — what matters
+for the reproduction is the *structure* of the mapping (which opcodes use
+which resource, how costs scale with bitwidth), because that is the
+function the GNNs must learn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ir.opcodes import Opcode
+from repro.ir.values import Constant, Instruction
+
+
+@dataclass(frozen=True)
+class OpCharacter:
+    """Resources and timing of one operation instance."""
+
+    dsp: int = 0
+    lut: int = 0
+    ff: int = 0
+    delay_ns: float = 0.0  # combinational delay contribution
+    latency: int = 0  # 0 = combinational (chainable), >=1 registered cycles
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.latency == 0
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Target device and clock configuration."""
+
+    name: str = "xc7z020-like"
+    clock_period_ns: float = 10.0
+    clock_uncertainty_ns: float = 1.25
+    lut_capacity: int = 53_200
+    ff_capacity: int = 106_400
+    dsp_capacity: int = 220
+
+
+DEFAULT_DEVICE = DeviceModel()
+
+_FU_FAMILIES = {
+    Opcode.MUL: "mul",
+    Opcode.SDIV: "div",
+    Opcode.UDIV: "div",
+    Opcode.SREM: "div",
+    Opcode.UREM: "div",
+    Opcode.ADD: "addsub",
+    Opcode.SUB: "addsub",
+    Opcode.SHL: "shift",
+    Opcode.LSHR: "shift",
+    Opcode.ASHR: "shift",
+    Opcode.AND: "logic",
+    Opcode.OR: "logic",
+    Opcode.XOR: "logic",
+    Opcode.ICMP: "cmp",
+    Opcode.SELECT: "mux",
+    Opcode.PHI: "mux",
+    Opcode.LOAD: "mem",
+    Opcode.STORE: "mem",
+    Opcode.GEP: "addr",
+}
+
+
+def fu_family(opcode: Opcode) -> str | None:
+    """Functional-unit family an opcode binds to (None = no datapath FU)."""
+    return _FU_FAMILIES.get(opcode)
+
+
+def width_bucket(width: int) -> int:
+    """Widths are grouped into power-of-two FU sizes for binding."""
+    for bucket in (8, 16, 32, 64, 128, 256):
+        if width <= bucket:
+            return bucket
+    return 256
+
+
+def _has_constant_operand(instruction: Instruction, position: int) -> bool:
+    return (
+        len(instruction.operands) > position
+        and isinstance(instruction.operands[position], Constant)
+    )
+
+
+def characterize(instruction: Instruction) -> OpCharacter:
+    """Characterise one instruction instance (bitwidth-aware)."""
+    opcode = instruction.opcode
+    w = max(1, instruction.bitwidth)
+    log_w = max(1.0, math.log2(w))
+
+    if opcode == Opcode.MUL:
+        if w <= 10:
+            return OpCharacter(lut=max(4, w * w // 3), delay_ns=1.8 + 0.03 * w)
+        dsp = math.ceil(w / 18) * math.ceil(w / 25)
+        latency = 1 if w <= 18 else (2 if w <= 35 else 3)
+        return OpCharacter(
+            dsp=dsp,
+            lut=w // 4,
+            ff=w if latency > 1 else 0,
+            delay_ns=2.6 + 0.015 * w,
+            latency=latency,
+        )
+    if opcode in (Opcode.SDIV, Opcode.UDIV, Opcode.SREM, Opcode.UREM):
+        # Iterative divider: LUT+FF heavy, DSP-assisted when wide.
+        dsp = 2 if w >= 24 else 0
+        return OpCharacter(
+            dsp=dsp,
+            lut=3 * w + w * w // 6,
+            ff=3 * w,
+            delay_ns=2.2,
+            latency=max(2, w // 4 + 2),
+        )
+    if opcode in (Opcode.ADD, Opcode.SUB):
+        return OpCharacter(lut=w, delay_ns=0.9 + 0.012 * w)
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        return OpCharacter(lut=math.ceil(w / 2), delay_ns=0.35)
+    if opcode in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        if _has_constant_operand(instruction, 1):
+            return OpCharacter()  # constant shift is wiring
+        return OpCharacter(
+            lut=math.ceil(w * log_w / 3), delay_ns=0.7 + 0.05 * log_w
+        )
+    if opcode == Opcode.ICMP:
+        return OpCharacter(lut=math.ceil(w / 3) + 1, delay_ns=0.5 + 0.004 * w)
+    if opcode == Opcode.SELECT:
+        return OpCharacter(lut=math.ceil(w / 2), delay_ns=0.3)
+    if opcode == Opcode.PHI:
+        # Carried value: a register plus the FSM-steered input mux.
+        fanin = max(1, len(instruction.operands))
+        return OpCharacter(lut=math.ceil(w / 2) * (fanin - 1), ff=w, delay_ns=0.25)
+    if opcode == Opcode.LOAD:
+        return OpCharacter(lut=5, ff=w, delay_ns=1.0, latency=2)
+    if opcode == Opcode.STORE:
+        return OpCharacter(lut=3, delay_ns=0.8, latency=1)
+    if opcode == Opcode.GEP:
+        return OpCharacter(lut=6, delay_ns=0.4)
+    if opcode in (Opcode.TRUNC, Opcode.ZEXT, Opcode.SEXT):
+        return OpCharacter()  # pure wiring
+    # Control, constants, ports, allocas: no datapath resources.
+    return OpCharacter()

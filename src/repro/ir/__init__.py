@@ -1,0 +1,52 @@
+"""LLVM-flavoured intermediate representation.
+
+The HLS front-end substitute: typed instructions in basic blocks with
+explicit control flow. :mod:`repro.ir.dfg` and :mod:`repro.ir.cdfg`
+extract the graphs the GNNs consume; :mod:`repro.hls` schedules and binds
+the same IR to produce ground-truth labels.
+"""
+
+from repro.ir.opcodes import (
+    EdgeType,
+    NodeType,
+    Opcode,
+    OPCODE_CATEGORY,
+    opcode_category,
+)
+from repro.ir.values import Argument, Constant, Instruction, Value
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import IRFunction
+from repro.ir.cfg import back_edges, predecessors, reverse_post_order, successors
+from repro.ir.verify import IRVerificationError, verify_function
+from repro.ir.graph import IRGraph, IRNode
+from repro.ir.dfg import extract_dfg
+from repro.ir.cdfg import extract_cdfg
+from repro.ir.interp import IRInterpreter, run_ir
+from repro.ir.printer import function_to_text
+
+__all__ = [
+    "EdgeType",
+    "NodeType",
+    "Opcode",
+    "OPCODE_CATEGORY",
+    "opcode_category",
+    "Argument",
+    "Constant",
+    "Instruction",
+    "Value",
+    "BasicBlock",
+    "IRFunction",
+    "back_edges",
+    "predecessors",
+    "reverse_post_order",
+    "successors",
+    "IRVerificationError",
+    "verify_function",
+    "IRGraph",
+    "IRNode",
+    "extract_dfg",
+    "extract_cdfg",
+    "IRInterpreter",
+    "run_ir",
+    "function_to_text",
+]

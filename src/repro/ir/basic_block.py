@@ -1,0 +1,46 @@
+"""Basic blocks: straight-line instruction sequences with one terminator."""
+
+from __future__ import annotations
+
+from repro.ir.values import Instruction
+
+
+class BasicBlock:
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: list[Instruction] = []
+
+    def append(self, instruction: Instruction) -> Instruction:
+        if self.instructions and self.instructions[-1].is_terminator:
+            raise ValueError(
+                f"block {self.name!r} already terminated; cannot append "
+                f"{instruction.opcode}"
+            )
+        instruction.block = self.name
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self) -> Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def phis(self) -> list[Instruction]:
+        from repro.ir.opcodes import Opcode
+
+        return [i for i in self.instructions if i.opcode == Opcode.PHI]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name}, {len(self.instructions)} instructions)"

@@ -1,0 +1,66 @@
+"""Control-data-flow-graph extraction from multi-block functions.
+
+On top of the DFG content, a CDFG adds one ``block`` node per basic block
+and control edges: block -> member instructions (control state feeding its
+operations), branch -> target block (marked as a back edge when the CFG
+edge closes a loop) and predecessor block -> phi (the control input that
+selects the phi operand).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import back_edges
+from repro.ir.dfg import _add_data_edges, _add_store_load_edges, _NodeMapper
+from repro.ir.function import IRFunction
+from repro.ir.graph import IRGraph
+from repro.ir.opcodes import EdgeType, NodeType, Opcode
+
+
+def extract_cdfg(function: IRFunction, name: str | None = None) -> IRGraph:
+    """Extract the CDFG of any function (single-block functions allowed,
+    though they produce no loops)."""
+    graph = IRGraph(name=name or function.name, kind="cdfg")
+    mapper = _NodeMapper(graph)
+    block_order = {block.name: i for i, block in enumerate(function.blocks)}
+
+    def cluster_of(instruction) -> int:
+        # Cluster group for CDFGs: index of the owning basic block.
+        return block_order.get(instruction.block, -1)
+
+    _add_data_edges(mapper, function, clusters=cluster_of)
+    _add_store_load_edges(mapper, function)
+
+    block_nodes: dict[str, int] = {}
+    for block in function.blocks:
+        block_nodes[block.name] = graph.add_node(
+            kind=NodeType.BLOCK,
+            opcode=Opcode.BLOCK,
+            bitwidth=0,
+            label=block.name,
+            cluster=block_order[block.name],
+        )
+    loop_edges = back_edges(function)
+    for block in function.blocks:
+        bnode = block_nodes[block.name]
+        for instruction in block.instructions:
+            graph.add_edge(
+                bnode, mapper.instruction_nodes[instruction.id], EdgeType.CONTROL
+            )
+        terminator = block.terminator
+        if terminator is not None:
+            tnode = mapper.instruction_nodes[terminator.id]
+            for target in terminator.targets:
+                graph.add_edge(
+                    tnode,
+                    block_nodes[target],
+                    EdgeType.CONTROL,
+                    is_back=(block.name, target) in loop_edges,
+                )
+        for phi in block.phis:
+            for incoming in phi.incoming_blocks:
+                graph.add_edge(
+                    block_nodes[incoming],
+                    mapper.instruction_nodes[phi.id],
+                    EdgeType.CONTROL,
+                )
+    return graph

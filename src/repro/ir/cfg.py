@@ -1,0 +1,78 @@
+"""Control-flow-graph queries: successors, predecessors, traversal order
+and back-edge detection (back edges mark CDFG loop edges in Table 1)."""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+
+
+def successors(function: IRFunction) -> dict[str, list[str]]:
+    """Map each block name to the names of its CFG successors."""
+    result: dict[str, list[str]] = {}
+    for block in function.blocks:
+        terminator = block.terminator
+        result[block.name] = list(terminator.targets) if terminator else []
+    return result
+
+
+def predecessors(function: IRFunction) -> dict[str, list[str]]:
+    result: dict[str, list[str]] = {block.name: [] for block in function.blocks}
+    for source, targets in successors(function).items():
+        for target in targets:
+            result[target].append(source)
+    return result
+
+
+def reverse_post_order(function: IRFunction) -> list[str]:
+    """Block names in reverse post-order from the entry (a topological
+    order ignoring back edges)."""
+    succ = successors(function)
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(name: str) -> None:
+        stack = [(name, iter(succ[name]))]
+        visited.add(name)
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in visited:
+                    visited.add(child)
+                    stack.append((child, iter(succ[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(function.entry.name)
+    return list(reversed(order))
+
+
+def back_edges(function: IRFunction) -> set[tuple[str, str]]:
+    """CFG edges (source, target) that close a loop (DFS back edges)."""
+    succ = successors(function)
+    colour: dict[str, int] = {}  # 0 absent, 1 on stack, 2 done
+    result: set[tuple[str, str]] = set()
+
+    def visit(name: str) -> None:
+        stack: list[tuple[str, iter]] = [(name, iter(succ[name]))]
+        colour[name] = 1
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if colour.get(child, 0) == 1:
+                    result.add((current, child))
+                elif colour.get(child, 0) == 0:
+                    colour[child] = 1
+                    stack.append((child, iter(succ[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[current] = 2
+                stack.pop()
+
+    visit(function.entry.name)
+    return result

@@ -1,0 +1,138 @@
+"""Data-flow-graph extraction from single-basic-block functions.
+
+DFG nodes are operations plus the constants (misc) and arguments (ports)
+they consume; edges are data dependencies plus store->load memory
+dependencies. The result is a DAG — guaranteed by SSA def-before-use and
+asserted at the end.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.graph import IRGraph
+from repro.ir.opcodes import EdgeType, NodeType, Opcode
+from repro.ir.values import Argument, Constant, Instruction
+
+
+class _NodeMapper:
+    """Shared node-creation logic between DFG and CDFG extraction."""
+
+    def __init__(self, graph: IRGraph):
+        self.graph = graph
+        self.instruction_nodes: dict[int, int] = {}
+        self.argument_nodes: dict[int, int] = {}
+        self.constant_nodes: dict[tuple[int, int], int] = {}
+
+    def instruction(self, instruction: Instruction, cluster: int) -> int:
+        key = instruction.id
+        if key not in self.instruction_nodes:
+            self.instruction_nodes[key] = self.graph.add_node(
+                kind=NodeType.OPERATION,
+                opcode=instruction.opcode,
+                bitwidth=instruction.bitwidth,
+                label=instruction.name,
+                instruction_id=instruction.id,
+                cluster=cluster,
+            )
+        return self.instruction_nodes[key]
+
+    def operand(self, value, cluster: int) -> int:
+        if isinstance(value, Instruction):
+            return self.instruction(value, cluster)
+        if isinstance(value, Argument):
+            key = id(value)
+            if key not in self.argument_nodes:
+                self.argument_nodes[key] = self.graph.add_node(
+                    kind=NodeType.PORT,
+                    opcode=Opcode.PORT,
+                    bitwidth=value.bitwidth,
+                    label=value.name,
+                    cluster=-1,
+                )
+            return self.argument_nodes[key]
+        if isinstance(value, Constant):
+            key = (value.value, value.bitwidth)
+            if key not in self.constant_nodes:
+                self.constant_nodes[key] = self.graph.add_node(
+                    kind=NodeType.MISC,
+                    opcode=Opcode.CONST,
+                    bitwidth=value.bitwidth,
+                    label=str(value.value),
+                    cluster=-1,
+                )
+            return self.constant_nodes[key]
+        raise TypeError(f"unknown operand type {type(value).__name__}")
+
+
+def _add_data_edges(mapper: _NodeMapper, function: IRFunction, clusters) -> None:
+    graph = mapper.graph
+    for instruction in function.instructions():
+        dst = mapper.instruction(instruction, clusters(instruction))
+        for operand in instruction.operands:
+            src = mapper.operand(operand, clusters(instruction))
+            graph.add_edge(src, dst, EdgeType.DATA)
+        # Memory base attachment: the array object feeding a gep/load/store.
+        if instruction.memory is not None:
+            base = mapper.operand(instruction.memory, clusters(instruction))
+            graph.add_edge(base, dst, EdgeType.MEMORY)
+
+
+def _add_store_load_edges(mapper: _NodeMapper, function: IRFunction) -> None:
+    """Program-order store->(load|store) dependencies on the same array."""
+    graph = mapper.graph
+    last_store: dict[int, Instruction] = {}
+    for instruction in function.instructions():
+        if instruction.memory is None:
+            continue
+        if instruction.opcode not in (Opcode.LOAD, Opcode.STORE):
+            continue
+        key = id(instruction.memory)
+        previous = last_store.get(key)
+        if previous is not None:
+            graph.add_edge(
+                mapper.instruction_nodes[previous.id],
+                mapper.instruction_nodes[instruction.id],
+                EdgeType.MEMORY,
+            )
+        if instruction.opcode == Opcode.STORE:
+            last_store[key] = instruction
+
+
+def _asap_depths(graph: IRGraph) -> dict[int, int]:
+    """Topological depth over DATA edges — the DFG "cluster group"."""
+    indegree = [0] * graph.num_nodes
+    adjacency: list[list[int]] = [[] for _ in range(graph.num_nodes)]
+    for src, dst, etype, _ in graph.edges:
+        if etype == EdgeType.DATA:
+            adjacency[src].append(dst)
+            indegree[dst] += 1
+    depth = {i: 0 for i in range(graph.num_nodes)}
+    frontier = [i for i in range(graph.num_nodes) if indegree[i] == 0]
+    while frontier:
+        node = frontier.pop()
+        for child in adjacency[node]:
+            depth[child] = max(depth[child], depth[node] + 1)
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                frontier.append(child)
+    return depth
+
+
+def extract_dfg(function: IRFunction, name: str | None = None) -> IRGraph:
+    """Extract the data-flow graph of a single-basic-block function."""
+    if not function.is_single_block:
+        raise ValueError(
+            f"{function.name}: DFG extraction needs a single basic block "
+            f"(got {len(function.blocks)}); use extract_cdfg"
+        )
+    graph = IRGraph(name=name or function.name, kind="dfg")
+    mapper = _NodeMapper(graph)
+    _add_data_edges(mapper, function, clusters=lambda _: -1)
+    _add_store_load_edges(mapper, function)
+    # Cluster group for DFGs: ASAP topological level (available right after
+    # the front-end, before any HLS execution).
+    for index, depth in _asap_depths(graph).items():
+        graph.nodes[index].cluster = depth
+    if graph.has_cycle():
+        raise AssertionError(f"{function.name}: extracted DFG is cyclic")
+    return graph

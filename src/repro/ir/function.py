@@ -1,0 +1,53 @@
+"""IR functions: an argument list plus an ordered list of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.typesys import CInt
+from repro.ir.basic_block import BasicBlock
+from repro.ir.values import Argument, Instruction
+
+
+class IRFunction:
+    def __init__(self, name: str, args: list[Argument], ret_type: CInt):
+        self.name = name
+        self.args = list(args)
+        self.ret_type = ret_type
+        self.blocks: list[BasicBlock] = []
+        self._block_index: dict[str, BasicBlock] = {}
+
+    def add_block(self, name: str) -> BasicBlock:
+        if name in self._block_index:
+            raise ValueError(f"duplicate block name {name!r}")
+        block = BasicBlock(name)
+        self.blocks.append(block)
+        self._block_index[name] = block
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        return self._block_index[name]
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    @property
+    def is_single_block(self) -> bool:
+        return len(self.blocks) == 1
+
+    def __repr__(self) -> str:
+        return (
+            f"IRFunction({self.name}, blocks={len(self.blocks)}, "
+            f"instructions={self.num_instructions})"
+        )

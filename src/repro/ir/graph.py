@@ -1,0 +1,127 @@
+"""The raw IR graph: the common output of DFG and CDFG extraction.
+
+An :class:`IRGraph` is a typed property graph — exactly the "IR graph
+extracted by compiler front-ends" of the paper's Fig. 1(c). Feature
+*encoding* (one-hots, numeric scaling, Table 1) happens later in
+:mod:`repro.dataset.features`; this structure keeps semantic values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.opcodes import EdgeType, NodeType, Opcode
+
+
+@dataclass
+class IRNode:
+    """One graph node with Table-1 raw attributes."""
+
+    index: int
+    kind: NodeType
+    opcode: Opcode
+    bitwidth: int
+    label: str = ""
+    instruction_id: int | None = None  # link back to the IR instruction
+    cluster: int = -1  # Table 1 "cluster group"
+
+
+@dataclass
+class IRGraph:
+    """Property graph over :class:`IRNode` with typed edges."""
+
+    name: str
+    kind: str  # "dfg" or "cdfg"
+    nodes: list[IRNode] = field(default_factory=list)
+    edges: list[tuple[int, int, EdgeType, bool]] = field(default_factory=list)
+
+    def add_node(
+        self,
+        kind: NodeType,
+        opcode: Opcode,
+        bitwidth: int,
+        label: str = "",
+        instruction_id: int | None = None,
+        cluster: int = -1,
+    ) -> int:
+        index = len(self.nodes)
+        self.nodes.append(
+            IRNode(index, kind, opcode, bitwidth, label, instruction_id, cluster)
+        )
+        return index
+
+    def add_edge(
+        self, src: int, dst: int, etype: EdgeType, is_back: bool = False
+    ) -> None:
+        if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
+            raise IndexError(f"edge ({src}, {dst}) out of range")
+        self.edges.append((src, dst, etype, is_back))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (edge_index [2, E], edge_type [E], edge_back [E])."""
+        if not self.edges:
+            return (
+                np.zeros((2, 0), dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        src, dst, etype, back = zip(*self.edges)
+        return (
+            np.array([src, dst], dtype=np.int64),
+            np.array([int(t) for t in etype], dtype=np.int64),
+            np.array([int(b) for b in back], dtype=np.int64),
+        )
+
+    def data_predecessor_counts(self) -> np.ndarray:
+        """Number of incoming DATA edges per node ("is start of path")."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for _, dst, etype, _ in self.edges:
+            if etype == EdgeType.DATA:
+                counts[dst] += 1
+        return counts
+
+    def has_cycle(self) -> bool:
+        """True when the directed graph has a cycle (CDFGs do, DFGs must not)."""
+        indegree = np.zeros(self.num_nodes, dtype=np.int64)
+        adjacency: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for src, dst, _, _ in self.edges:
+            adjacency[src].append(dst)
+            indegree[dst] += 1
+        frontier = [i for i in range(self.num_nodes) if indegree[i] == 0]
+        seen = 0
+        while frontier:
+            node = frontier.pop()
+            seen += 1
+            for child in adjacency[node]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        return seen != self.num_nodes
+
+    def to_networkx(self):
+        """Export to a networkx MultiDiGraph (analysis/visualisation)."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(name=self.name, kind=self.kind)
+        for node in self.nodes:
+            graph.add_node(
+                node.index,
+                kind=node.kind.name,
+                opcode=str(node.opcode),
+                bitwidth=node.bitwidth,
+                label=node.label,
+                cluster=node.cluster,
+            )
+        for src, dst, etype, back in self.edges:
+            graph.add_edge(src, dst, etype=etype.name, back=back)
+        return graph

@@ -1,0 +1,171 @@
+"""Reference interpreter for the SSA IR.
+
+Executes an :class:`~repro.ir.function.IRFunction` with the same C
+fixed-width semantics as :mod:`repro.frontend.interp`. The two
+interpreters differentially test the lowering: for every program,
+``run_ast(program, args) == run_ir(lower_program(program), args)``.
+
+Phi nodes are evaluated with the standard simultaneous-assignment rule:
+on entry to a block from predecessor P, every phi reads the operand
+associated with P using the *pre-entry* register file.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.interp import InterpreterError, _trunc_div, _trunc_rem, wrap
+from repro.ir.function import IRFunction
+from repro.ir.opcodes import Opcode
+from repro.ir.values import Argument, Constant, Instruction, Value
+from repro.typesys import CInt
+
+#: Execution-step budget: generated loops are bounded, so exceeding this
+#: indicates an interpreter or lowering bug rather than a long program.
+MAX_STEPS = 2_000_000
+
+
+class IRInterpreter:
+    def __init__(self, function: IRFunction, arguments: dict):
+        self.function = function
+        self.registers: dict[int, int] = {}
+        self.memories: dict[int, list[int]] = {}
+        self.scalar_args: dict[int, int] = {}
+        for arg in function.args:
+            if arg.is_array:
+                self.memories[id(arg)] = arguments[arg.name]
+            else:
+                self.scalar_args[id(arg)] = wrap(
+                    int(arguments[arg.name]), arg.type
+                )
+
+    # -- value resolution ---------------------------------------------------
+    def value_of(self, value: Value) -> int:
+        if isinstance(value, Constant):
+            return wrap(value.value, value.type)
+        if isinstance(value, Argument):
+            return self.scalar_args[id(value)]
+        if isinstance(value, Instruction):
+            return self.registers[value.id]
+        raise InterpreterError(f"cannot resolve {type(value).__name__}")
+
+    def _memory_of(self, inst: Instruction) -> list[int]:
+        base = inst.memory
+        if base is None:
+            raise InterpreterError(f"{inst.name} has no memory base")
+        if id(base) not in self.memories:
+            raise InterpreterError(f"unknown memory object for {inst.name}")
+        return self.memories[id(base)]
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> int:
+        block = self.function.entry
+        previous_block: str | None = None
+        steps = 0
+        while True:
+            # Simultaneous phi evaluation.
+            phi_updates: dict[int, int] = {}
+            for phi in block.phis:
+                if previous_block is None:
+                    raise InterpreterError("phi in entry block")
+                position = phi.incoming_blocks.index(previous_block)
+                phi_updates[phi.id] = wrap(
+                    self.value_of(phi.operands[position]), phi.type
+                )
+            self.registers.update(phi_updates)
+            for inst in block.instructions:
+                steps += 1
+                if steps > MAX_STEPS:
+                    raise InterpreterError("step budget exceeded")
+                if inst.opcode == Opcode.PHI:
+                    continue
+                if inst.opcode == Opcode.RET:
+                    return wrap(
+                        self.value_of(inst.operands[0]), self.function.ret_type
+                    )
+                if inst.opcode == Opcode.BR:
+                    if len(inst.targets) == 1:
+                        target = inst.targets[0]
+                    else:
+                        taken = self.value_of(inst.operands[0]) != 0
+                        target = inst.targets[0] if taken else inst.targets[1]
+                    previous_block = block.name
+                    block = self.function.block(target)
+                    break
+                self.registers[inst.id] = self._execute(inst)
+            else:
+                raise InterpreterError(
+                    f"block {block.name} fell through without a terminator"
+                )
+
+    def _execute(self, inst: Instruction) -> int:
+        op = inst.opcode
+        ctype = inst.type
+        if op == Opcode.ALLOCA:
+            # Size is not tracked on the instruction; allocate lazily on
+            # first access instead (gep/load/store index modulo below).
+            self.memories.setdefault(id(inst), [0] * 1024)
+            return 0
+        operands = [self.value_of(v) for v in inst.operands]
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+            a, b = operands
+            value = {Opcode.ADD: a + b, Opcode.SUB: a - b, Opcode.MUL: a * b}[op]
+            return wrap(value, ctype)
+        if op in (Opcode.SDIV, Opcode.UDIV):
+            a, b = operands
+            if b == 0:
+                raise InterpreterError("division by zero")
+            return wrap(_trunc_div(a, b), ctype)
+        if op in (Opcode.SREM, Opcode.UREM):
+            a, b = operands
+            if b == 0:
+                raise InterpreterError("remainder by zero")
+            return wrap(_trunc_rem(a, b), ctype)
+        if op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+            a, b = operands
+            value = {Opcode.AND: a & b, Opcode.OR: a | b, Opcode.XOR: a ^ b}[op]
+            return wrap(value, ctype)
+        if op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+            a, b = operands
+            shift = b % ctype.width
+            if op == Opcode.SHL:
+                return wrap(a << shift, ctype)
+            if op == Opcode.ASHR:
+                return wrap(a >> shift, ctype)
+            unsigned = wrap(a, CInt(ctype.width, signed=False))
+            return wrap(unsigned >> shift, ctype)
+        if op == Opcode.ICMP:
+            a, b = operands
+            predicate = inst.name.rsplit(".", 1)[-1]
+            return int({
+                "lt": a < b, "le": a <= b, "gt": a > b,
+                "ge": a >= b, "eq": a == b, "ne": a != b,
+            }[predicate])
+        if op == Opcode.SELECT:
+            cond, a, b = operands
+            return wrap(a if cond != 0 else b, ctype)
+        if op == Opcode.GEP:
+            return operands[0]
+        if op == Opcode.LOAD:
+            memory = self._memory_of(inst)
+            index = operands[0] % len(memory)
+            return wrap(memory[index], ctype)
+        if op == Opcode.STORE:
+            memory = self._memory_of(inst)
+            value, address = operands
+            memory[address % len(memory)] = wrap(value, ctype)
+            return 0
+        if op in (Opcode.TRUNC, Opcode.ZEXT):
+            source = inst.operands[0]
+            if op == Opcode.ZEXT:
+                unsigned = wrap(
+                    operands[0], CInt(source.type.width, signed=False)
+                )
+                return wrap(unsigned, ctype)
+            return wrap(operands[0], ctype)
+        if op == Opcode.SEXT:
+            return wrap(operands[0], ctype)
+        raise InterpreterError(f"cannot execute opcode {op}")
+
+
+def run_ir(function: IRFunction, arguments: dict) -> int:
+    """Execute ``function`` on concrete arguments, returning the result."""
+    return IRInterpreter(function, arguments).run()

@@ -1,0 +1,109 @@
+"""Opcode vocabulary, opcode categories (Table 1's "opcode type"), node and
+edge taxonomies of the IR graphs."""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+
+class Opcode(str, Enum):
+    """LLVM-flavoured operation set produced by the mini-C lowering."""
+
+    # integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    UDIV = "udiv"
+    SREM = "srem"
+    UREM = "urem"
+    # bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    # comparison / selection
+    ICMP = "icmp"
+    SELECT = "select"
+    PHI = "phi"
+    # memory
+    ALLOCA = "alloca"
+    LOAD = "load"
+    STORE = "store"
+    GEP = "getelementptr"
+    # casts
+    TRUNC = "trunc"
+    ZEXT = "zext"
+    SEXT = "sext"
+    # control
+    BR = "br"
+    RET = "ret"
+    # graph-only pseudo nodes
+    CONST = "const"
+    PORT = "port"
+    BLOCK = "bb"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Table 1 "opcode type" — category vocabulary based on LLVM groupings.
+OPCODE_CATEGORY: dict[Opcode, str] = {
+    Opcode.ADD: "binary_unary",
+    Opcode.SUB: "binary_unary",
+    Opcode.MUL: "binary_unary",
+    Opcode.SDIV: "binary_unary",
+    Opcode.UDIV: "binary_unary",
+    Opcode.SREM: "binary_unary",
+    Opcode.UREM: "binary_unary",
+    Opcode.AND: "bitwise",
+    Opcode.OR: "bitwise",
+    Opcode.XOR: "bitwise",
+    Opcode.SHL: "bitwise",
+    Opcode.LSHR: "bitwise",
+    Opcode.ASHR: "bitwise",
+    Opcode.ICMP: "compare",
+    Opcode.SELECT: "select",
+    Opcode.PHI: "select",
+    Opcode.ALLOCA: "memory",
+    Opcode.LOAD: "memory",
+    Opcode.STORE: "memory",
+    Opcode.GEP: "memory",
+    Opcode.TRUNC: "cast",
+    Opcode.ZEXT: "cast",
+    Opcode.SEXT: "cast",
+    Opcode.BR: "control",
+    Opcode.RET: "control",
+    Opcode.CONST: "constant",
+    Opcode.PORT: "port",
+    Opcode.BLOCK: "control",
+}
+
+OPCODE_CATEGORIES = tuple(sorted(set(OPCODE_CATEGORY.values()) | {"misc"}))
+
+
+def opcode_category(opcode: Opcode) -> str:
+    return OPCODE_CATEGORY.get(opcode, "misc")
+
+
+class NodeType(IntEnum):
+    """Table 1 "node type": general class of a graph node."""
+
+    OPERATION = 0
+    BLOCK = 1
+    PORT = 2
+    MISC = 3  # constants and anything else
+
+
+class EdgeType(IntEnum):
+    """Discrete edge types of the IR graph."""
+
+    DATA = 0
+    CONTROL = 1
+    MEMORY = 2
+    PSEUDO = 3  # e.g. const/port attachment in degenerate cases
+
+
+NUM_EDGE_TYPES = len(EdgeType)

@@ -1,0 +1,66 @@
+"""Textual IR dump (LLVM-``.ll`` flavoured) for debugging and docs.
+
+``print(function_to_text(fn))`` shows the SSA form a program lowered to —
+the fastest way to understand what the graph extractors and the HLS
+simulator actually see.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.opcodes import Opcode
+from repro.ir.values import Argument, Constant, Instruction, Value
+
+
+def _value_ref(value: Value) -> str:
+    if isinstance(value, Constant):
+        return f"i{value.type.width} {value.value}"
+    if isinstance(value, Argument):
+        return f"%{value.name}"
+    if isinstance(value, Instruction):
+        return value.name
+    raise TypeError(f"cannot print {type(value).__name__}")
+
+
+def instruction_to_text(inst: Instruction) -> str:
+    operands = ", ".join(_value_ref(v) for v in inst.operands)
+    if inst.opcode == Opcode.BR:
+        if len(inst.targets) == 2:
+            return (
+                f"br {operands}, label %{inst.targets[0]}, "
+                f"label %{inst.targets[1]}"
+            )
+        return f"br label %{inst.targets[0]}"
+    if inst.opcode == Opcode.RET:
+        return f"ret {operands}"
+    if inst.opcode == Opcode.PHI:
+        pairs = ", ".join(
+            f"[ {_value_ref(v)}, %{b} ]"
+            for v, b in zip(inst.operands, inst.incoming_blocks)
+        )
+        return f"{inst.name} = phi i{inst.bitwidth} {pairs}"
+    if inst.opcode == Opcode.ALLOCA:
+        return f"{inst.name} = alloca i{inst.bitwidth}"
+    suffix = ""
+    if inst.memory is not None:
+        base = (
+            f"%{inst.memory.name}"
+            if isinstance(inst.memory, Argument)
+            else inst.memory.name
+        )
+        suffix = f" ; memory {base}"
+    return f"{inst.name} = {inst.opcode} i{inst.bitwidth} {operands}{suffix}"
+
+
+def function_to_text(function: IRFunction) -> str:
+    """Render the whole function as readable SSA text."""
+    params = ", ".join(
+        f"{a.type} %{a.name}" for a in function.args
+    )
+    lines = [f"define i{function.ret_type.width} @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {instruction_to_text(inst)}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""IR value hierarchy: constants, function arguments and instructions."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Union
+
+from repro.typesys import CArray, CInt
+from repro.ir.opcodes import Opcode
+
+_instruction_ids = itertools.count()
+
+
+class Constant:
+    """An integer literal appearing as an operand (a graph ``misc`` node)."""
+
+    __slots__ = ("value", "type")
+
+    def __init__(self, value: int, ctype: CInt):
+        self.value = int(value)
+        self.type = ctype
+
+    @property
+    def bitwidth(self) -> int:
+        return self.type.width
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value}: i{self.type.width})"
+
+
+class Argument:
+    """A function parameter — a ``port`` node in the IR graph."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, ctype: CInt | CArray):
+        self.name = name
+        self.type = ctype
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.type, CArray)
+
+    @property
+    def bitwidth(self) -> int:
+        return self.type.element.width if self.is_array else self.type.width
+
+    def __repr__(self) -> str:
+        return f"Argument({self.name}: {self.type})"
+
+
+class Instruction:
+    """A single IR operation.
+
+    ``operands`` holds SSA inputs (other instructions, constants or
+    arguments). Extra control payload lives in dedicated attributes:
+    ``targets`` for branches, ``incoming`` block names for phis and
+    ``memory`` for the array object a load/store touches.
+    """
+
+    __slots__ = (
+        "id",
+        "opcode",
+        "operands",
+        "type",
+        "name",
+        "targets",
+        "incoming_blocks",
+        "memory",
+        "block",
+    )
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        operands: list["Value"],
+        ctype: CInt,
+        name: str = "",
+    ):
+        self.id = next(_instruction_ids)
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.type = ctype
+        self.name = name or f"%{self.id}"
+        self.targets: list[str] = []  # successor block names (br)
+        self.incoming_blocks: list[str] = []  # phi predecessor block names
+        self.memory: Argument | Instruction | None = None  # load/store base
+        self.block: str = ""  # owning basic-block name (set on insertion)
+
+    @property
+    def bitwidth(self) -> int:
+        return self.type.width
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in (Opcode.BR, Opcode.RET)
+
+    def __repr__(self) -> str:
+        ops = ", ".join(
+            o.name if isinstance(o, (Instruction, Argument)) else repr(o)
+            for o in self.operands
+        )
+        return f"{self.name} = {self.opcode}({ops}): i{self.bitwidth}"
+
+
+Value = Union[Constant, Argument, Instruction]

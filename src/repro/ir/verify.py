@@ -1,0 +1,111 @@
+"""IR well-formedness checks run on every lowered function."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessors, successors
+from repro.ir.function import IRFunction
+from repro.ir.opcodes import Opcode
+from repro.ir.values import Argument, Constant, Instruction
+
+
+class IRVerificationError(ValueError):
+    """Raised when an IR function violates a structural invariant."""
+
+
+def verify_function(function: IRFunction) -> None:
+    """Check termination, branch targets, def-before-use and phi shape."""
+    if not function.blocks:
+        raise IRVerificationError(f"{function.name}: no basic blocks")
+    block_names = {b.name for b in function.blocks}
+    for block in function.blocks:
+        if not block.is_terminated:
+            raise IRVerificationError(
+                f"{function.name}:{block.name}: block lacks a terminator"
+            )
+        for instruction in block.instructions[:-1]:
+            if instruction.is_terminator:
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: terminator "
+                    f"{instruction.name} not at block end"
+                )
+        terminator = block.terminator
+        for target in terminator.targets:
+            if target not in block_names:
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: branch to unknown block "
+                    f"{target!r}"
+                )
+    _verify_defs(function)
+    _verify_phis(function)
+
+
+def _verify_defs(function: IRFunction) -> None:
+    """Every instruction operand must be an argument, constant or an
+    instruction belonging to this function."""
+    defined = {id(i) for i in function.instructions()}
+    arg_ids = {id(a) for a in function.args}
+    for instruction in function.instructions():
+        for operand in instruction.operands:
+            if isinstance(operand, Constant):
+                continue
+            if isinstance(operand, Argument):
+                if id(operand) not in arg_ids:
+                    raise IRVerificationError(
+                        f"{function.name}: {instruction.name} uses a foreign "
+                        f"argument {operand.name!r}"
+                    )
+                continue
+            if isinstance(operand, Instruction):
+                if id(operand) not in defined:
+                    raise IRVerificationError(
+                        f"{function.name}: {instruction.name} uses an "
+                        f"instruction outside this function"
+                    )
+                continue
+            raise IRVerificationError(
+                f"{function.name}: {instruction.name} has operand of type "
+                f"{type(operand).__name__}"
+            )
+
+
+def _verify_phis(function: IRFunction) -> None:
+    preds = predecessors(function)
+    for block in function.blocks:
+        for phi in block.phis:
+            if len(phi.operands) != len(phi.incoming_blocks):
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: phi {phi.name} has "
+                    f"{len(phi.operands)} operands but "
+                    f"{len(phi.incoming_blocks)} incoming blocks"
+                )
+            expected = set(preds[block.name])
+            actual = set(phi.incoming_blocks)
+            if actual != expected:
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: phi {phi.name} incoming "
+                    f"{sorted(actual)} != predecessors {sorted(expected)}"
+                )
+        # Phis must be at the top of the block.
+        seen_non_phi = False
+        for instruction in block:
+            if instruction.opcode == Opcode.PHI:
+                if seen_non_phi:
+                    raise IRVerificationError(
+                        f"{function.name}:{block.name}: phi {instruction.name}"
+                        f" after non-phi instruction"
+                    )
+            else:
+                seen_non_phi = True
+
+
+def reachable_blocks(function: IRFunction) -> set[str]:
+    succ = successors(function)
+    seen = {function.entry.name}
+    frontier = [function.entry.name]
+    while frontier:
+        current = frontier.pop()
+        for child in succ[current]:
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen

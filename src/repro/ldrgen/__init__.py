@@ -1,0 +1,19 @@
+"""Synthetic C program generation (the ldrgen substitute).
+
+Generates random-yet-synthesizable mini-C kernels in two families,
+mirroring the paper's benchmark split:
+
+- **DFG mode** — straight-line basic blocks (no control flow), lowering
+  to acyclic data-flow graphs;
+- **CDFG mode** — programs with counted loops and branches, lowering to
+  control-data-flow graphs with back edges.
+
+Generation is liveness-driven in spirit: every computed value is folded
+into the return expression, so dead-code elimination cannot shrink the
+program and node counts stay faithful to the source.
+"""
+
+from repro.ldrgen.config import GeneratorConfig
+from repro.ldrgen.generator import ProgramGenerator, generate_program
+
+__all__ = ["GeneratorConfig", "ProgramGenerator", "generate_program"]

@@ -1,0 +1,75 @@
+"""Generator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_op_weights() -> dict[str, float]:
+    return {
+        "+": 0.22,
+        "-": 0.14,
+        "*": 0.16,
+        "/": 0.03,
+        "%": 0.02,
+        "&": 0.09,
+        "|": 0.08,
+        "^": 0.08,
+        "<<": 0.05,
+        ">>": 0.05,
+        "<": 0.02,
+        ">": 0.02,
+        "==": 0.02,
+        "min": 0.01,
+        "max": 0.01,
+    }
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the synthetic program generator.
+
+    The defaults produce graphs in the 10-120 node range, matching the
+    per-graph scale of the paper's 40k-program benchmark (>660k nodes
+    over ~37k graphs).
+    """
+
+    mode: str = "dfg"  # "dfg" (straight-line) or "cdfg" (loops/branches)
+    min_statements: int = 3
+    max_statements: int = 10
+    max_expr_depth: int = 3
+    scalar_params: tuple[int, int] = (2, 5)
+    array_params: tuple[int, int] = (0, 2)
+    array_length_choices: tuple[int, ...] = (8, 16, 32, 64, 128)
+    width_choices: tuple[int, ...] = (8, 16, 32, 64)
+    width_weights: tuple[float, ...] = (0.15, 0.25, 0.45, 0.15)
+    op_weights: dict[str, float] = field(default_factory=_default_op_weights)
+    p_unary: float = 0.08
+    p_ternary: float = 0.05
+    p_array_load: float = 0.25
+    p_array_store: float = 0.15
+    # CDFG-only knobs
+    max_loops: int = 2
+    max_loop_nest: int = 2
+    trip_count_choices: tuple[int, ...] = (4, 8, 16, 32, 64)
+    p_if: float = 0.35
+    p_else: float = 0.6
+    loop_body_statements: tuple[int, int] = (2, 4)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("dfg", "cdfg"):
+            raise ValueError(f"mode must be 'dfg' or 'cdfg', got {self.mode!r}")
+        if self.min_statements < 1 or self.max_statements < self.min_statements:
+            raise ValueError("invalid statement-count range")
+        if self.max_expr_depth < 1:
+            raise ValueError("max_expr_depth must be >= 1")
+        if len(self.width_choices) != len(self.width_weights):
+            raise ValueError("width_choices and width_weights must align")
+
+    @classmethod
+    def dfg(cls, **overrides) -> "GeneratorConfig":
+        return cls(mode="dfg", **overrides)
+
+    @classmethod
+    def cdfg(cls, **overrides) -> "GeneratorConfig":
+        return cls(mode="cdfg", **overrides)

@@ -1,0 +1,22 @@
+"""The paper's three prediction approaches.
+
+- :class:`OffTheShelfPredictor` — GNN on raw IR-graph features (earliest).
+- :class:`KnowledgeRichPredictor` — adds per-node resource values from
+  intermediate HLS results (latest, most accurate).
+- :class:`HierarchicalPredictor` — knowledge-infused two-stage model:
+  node-level resource-type classification feeding graph-level regression
+  (earliest prediction, self-inferred domain knowledge).
+"""
+
+from repro.models.base import PredictorConfig, apply_feature_view
+from repro.models.off_the_shelf import OffTheShelfPredictor
+from repro.models.knowledge_rich import KnowledgeRichPredictor
+from repro.models.knowledge_infused import HierarchicalPredictor
+
+__all__ = [
+    "PredictorConfig",
+    "apply_feature_view",
+    "OffTheShelfPredictor",
+    "KnowledgeRichPredictor",
+    "HierarchicalPredictor",
+]

@@ -1,0 +1,133 @@
+"""Approach 3: the knowledge-infused hierarchical GNN (the paper's novel
+contribution, Fig. 2(b)).
+
+Training (domain knowledge infused via labels):
+
+1. a node-level GNN classifies each node's resource types (DSP/LUT/FF)
+   from base IR features;
+2. a graph-level GNN regresses DSP/LUT/FF/CP from base features *plus
+   the ground-truth resource-type bits* (teacher forcing).
+
+Inference (zero overhead — nothing beyond the IR graph is needed):
+
+1. the node model *infers* the type bits;
+2. the graph model consumes the self-inferred annotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.network import GraphRegressor, NodeClassifier
+from repro.graph.data import GraphData
+from repro.models.base import (
+    PredictorConfig,
+    apply_feature_view,
+    attach_inferred_types,
+)
+from repro.training.metrics import mape
+from repro.training.trainer import (
+    TrainResult,
+    evaluate_node_classifier,
+    predict_node_logits,
+    predict_regressor,
+    train_graph_regressor,
+    train_node_classifier,
+)
+
+
+class HierarchicalPredictor:
+    """Two-stage knowledge-infused predictor.
+
+    ``node_model_name`` defaults to the graph model's architecture; the
+    paper pairs like with like (RGCN-I, PNA-I).
+    """
+
+    def __init__(
+        self,
+        config: PredictorConfig | None = None,
+        node_model_name: str | None = None,
+        teacher_forcing: bool = False,
+    ):
+        self.config = config or PredictorConfig()
+        self.node_model_name = node_model_name or self.config.model_name
+        #: True = stage 2 trains on ground-truth type bits (the paper's
+        #: literal description); False (default) = stage 2 trains on the
+        #: node model's *own* inferred bits, which matches the inference
+        #: path and is markedly more robust when stage-1 accuracy is
+        #: imperfect (CDFGs, small training sets).
+        self.teacher_forcing = teacher_forcing
+        self.node_model: NodeClassifier | None = None
+        self.graph_model: GraphRegressor | None = None
+
+    # -- training --------------------------------------------------------
+    def fit(
+        self, train_graphs: list[GraphData], val_graphs: list[GraphData]
+    ) -> tuple[TrainResult, TrainResult]:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.node_model = NodeClassifier(
+            self.node_model_name,
+            in_dim=train_graphs[0].feature_dim,
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            num_edge_types=cfg.num_edge_types,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        node_result = train_node_classifier(
+            self.node_model, train_graphs, val_graphs, cfg.train
+        )
+        if self.teacher_forcing:
+            infused_train = apply_feature_view(train_graphs, "infused")
+            infused_val = apply_feature_view(val_graphs, "infused")
+        else:
+            infused_train = attach_inferred_types(
+                train_graphs, self.infer_types(train_graphs)
+            )
+            infused_val = attach_inferred_types(
+                val_graphs, self.infer_types(val_graphs)
+            )
+        self.graph_model = GraphRegressor(
+            cfg.model_name,
+            in_dim=infused_train[0].feature_dim,
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            num_edge_types=cfg.num_edge_types,
+            out_dim=4,
+            pooling=cfg.pooling,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        graph_result = train_graph_regressor(
+            self.graph_model, infused_train, infused_val, cfg.train
+        )
+        return node_result, graph_result
+
+    # -- inference ---------------------------------------------------------
+    def infer_types(self, graphs: list[GraphData]) -> np.ndarray:
+        """Stage-1 inference: 0/1 resource-type bits for every node."""
+        if self.node_model is None:
+            raise RuntimeError("predictor is not fitted")
+        logits = predict_node_logits(self.node_model, graphs)
+        return (logits > 0).astype(float)
+
+    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+        if self.graph_model is None:
+            raise RuntimeError("predictor is not fitted")
+        annotated = attach_inferred_types(graphs, self.infer_types(graphs))
+        return predict_regressor(self.graph_model, annotated)
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
+        """Graph-level MAPE with self-inferred annotations (the honest
+        inference path; ground-truth types are never consulted)."""
+        pred = self.predict(graphs)
+        target = np.stack([g.y for g in graphs])
+        return mape(pred, target)
+
+    def evaluate_node_stage(self, graphs: list[GraphData]) -> np.ndarray:
+        """Per-task accuracy of the node-level classifier (Table 3)."""
+        if self.node_model is None:
+            raise RuntimeError("predictor is not fitted")
+        return evaluate_node_classifier(self.node_model, graphs)

@@ -1,0 +1,35 @@
+"""Approach 2: knowledge-rich regression with HLS auxiliary features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.data import GraphData
+from repro.models.base import PredictorConfig, apply_feature_view
+from repro.models.off_the_shelf import OffTheShelfPredictor
+from repro.training.trainer import TrainResult
+
+
+class KnowledgeRichPredictor:
+    """Latest, most accurate prediction: per-node resource values from
+    intermediate HLS results ride along as node features (both during
+    training and inference — which is why this approach must wait for the
+    HLS tool to run)."""
+
+    def __init__(self, config: PredictorConfig | None = None):
+        self.config = config or PredictorConfig()
+        self._inner = OffTheShelfPredictor(self.config)
+
+    def fit(
+        self, train_graphs: list[GraphData], val_graphs: list[GraphData]
+    ) -> TrainResult:
+        return self._inner.fit(
+            apply_feature_view(train_graphs, "rich"),
+            apply_feature_view(val_graphs, "rich"),
+        )
+
+    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+        return self._inner.predict(apply_feature_view(graphs, "rich"))
+
+    def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
+        return self._inner.evaluate(apply_feature_view(graphs, "rich"))

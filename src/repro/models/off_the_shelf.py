@@ -1,0 +1,58 @@
+"""Approach 1: off-the-shelf GNN regression on raw IR graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.network import GraphRegressor
+from repro.graph.data import GraphData
+from repro.models.base import PredictorConfig
+from repro.training.trainer import (
+    TrainResult,
+    evaluate_regressor,
+    predict_regressor,
+    train_graph_regressor,
+)
+
+
+class OffTheShelfPredictor:
+    """Earliest prediction: IR graph in, DSP/LUT/FF/CP out.
+
+    Any of the 14 zoo architectures can back it (``config.model_name``).
+    """
+
+    def __init__(self, config: PredictorConfig | None = None):
+        self.config = config or PredictorConfig()
+        self.model: GraphRegressor | None = None
+
+    def _build(self, in_dim: int) -> GraphRegressor:
+        cfg = self.config
+        return GraphRegressor(
+            cfg.model_name,
+            in_dim=in_dim,
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            num_edge_types=cfg.num_edge_types,
+            out_dim=4,
+            pooling=cfg.pooling,
+            dropout=cfg.dropout,
+            rng=np.random.default_rng(cfg.seed),
+        )
+
+    def fit(
+        self, train_graphs: list[GraphData], val_graphs: list[GraphData]
+    ) -> TrainResult:
+        self.model = self._build(train_graphs[0].feature_dim)
+        return train_graph_regressor(
+            self.model, train_graphs, val_graphs, self.config.train
+        )
+
+    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("predictor is not fitted")
+        return predict_regressor(self.model, graphs)
+
+    def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("predictor is not fitted")
+        return evaluate_regressor(self.model, graphs)

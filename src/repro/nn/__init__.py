@@ -1,0 +1,35 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Mirrors the subset of ``torch.nn`` the paper's models need: linear layers,
+embeddings, activations, dropout, normalisation, containers and an MLP
+helper (the paper's 300-600-300-1 regression head is an :class:`MLP`).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.activations import ELU, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.normalization import BatchNorm1d, LayerNorm
+from repro.nn.mlp import MLP
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "ELU",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm1d",
+    "LayerNorm",
+    "MLP",
+    "init",
+]

@@ -1,0 +1,50 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.items = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.items:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]
+
+
+class ModuleList(Module):
+    """A list of modules that participates in parameter discovery."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module: Module) -> None:
+        self.items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]

@@ -1,0 +1,24 @@
+"""Inverted dropout with a module-owned generator for reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, dropout
+from repro.utils.rng import fork_rng
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else fork_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.training, self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

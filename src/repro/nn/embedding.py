@@ -1,0 +1,40 @@
+"""Lookup-table embedding for categorical node/edge features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, gather_rows
+
+
+class Embedding(Module):
+    """Maps integer ids in ``[0, num_embeddings)`` to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("embedding sizes must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        from repro.nn import init
+
+        scale = 1.0 / np.sqrt(embedding_dim)
+        self.weight = Parameter(init.uniform((num_embeddings, embedding_dim), scale, rng))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding id out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return gather_rows(self.weight, ids)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

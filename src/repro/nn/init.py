@@ -1,0 +1,51 @@
+"""Parameter initialisation schemes (Glorot/Kaiming/uniform/zeros)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot uniform: bound = sqrt(6 / (fan_in + fan_out))."""
+    rng = rng if rng is not None else default_rng()
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """He uniform: bound = sqrt(6 / fan_in), for ReLU families."""
+    rng = rng if rng is not None else default_rng()
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(
+    shape: tuple[int, ...], bound: float, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    rng = rng if rng is not None else default_rng()
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive

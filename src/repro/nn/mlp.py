@@ -1,0 +1,62 @@
+"""Multi-layer perceptron builder.
+
+The paper's regression head is a 300-600-300-1 feed-forward network; that
+is ``MLP([300, 600, 300, 1])`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.container import ModuleList
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class MLP(Module):
+    """Linear stack with an activation between layers (none after the last).
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``[300, 600, 300, 1]``.
+    activation:
+        Factory for the hidden activation module (default ReLU).
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation=ReLU,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.sizes = tuple(sizes)
+        self.layers = ModuleList(
+            Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])
+        )
+        self.activation = activation()
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i != last:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+    def __repr__(self) -> str:
+        return f"MLP(sizes={list(self.sizes)})"

@@ -1,0 +1,101 @@
+"""Base class for all layers and models."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def Parameter(data) -> Tensor:
+    """Wrap an array as a trainable tensor."""
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Composable unit with automatic parameter discovery.
+
+    Submodules and parameters are found by scanning instance attributes,
+    so subclasses simply assign them in ``__init__``. ``training`` toggles
+    dropout/batch-norm behaviour via :meth:`train` / :meth:`eval`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- invocation ----------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    # -- traversal -----------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, value in self.__dict__.items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> list[Tensor]:
+        return [tensor for _, tensor in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state ---------------------------------------------------------
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            if parameter.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{parameter.data.shape} vs {state[name].shape}"
+                )
+            parameter.data[...] = state[name]

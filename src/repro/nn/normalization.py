@@ -1,0 +1,71 @@
+"""Batch and layer normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class BatchNorm1d(Module):
+    """Normalise over the batch dimension of ``[N, C]`` input.
+
+    Keeps running statistics for eval mode like the torch counterpart;
+    statistics are plain numpy arrays (not parameters).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected [N, {self.num_features}] input, got {x.shape}"
+            )
+        if self.training and x.shape[0] > 1:
+            mean = x.mean(axis=0, keepdims=True)
+            centred = x - mean
+            var = (centred * centred).mean(axis=0, keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * var.data.reshape(-1)
+            )
+            normal = centred / (var + self.eps).sqrt()
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1))
+            normal = (x - mean) / (var + self.eps).sqrt()
+        return normal * self.gamma + self.beta
+
+
+class LayerNorm(Module):
+    """Normalise over the last dimension."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"expected trailing dim {self.num_features}, got {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        return centred / (var + self.eps).sqrt() * self.gamma + self.beta

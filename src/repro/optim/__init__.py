@@ -1,0 +1,9 @@
+"""Gradient-based optimisers (the paper trains every model with Adam)."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.scheduler import CosineDecay, StepDecay
+from repro.optim.clip import clip_grad_norm
+
+__all__ = ["Optimizer", "SGD", "Adam", "CosineDecay", "StepDecay", "clip_grad_norm"]

@@ -1,0 +1,24 @@
+"""Optimiser base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tensor import Tensor
+
+
+class Optimizer:
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,42 @@
+"""Learning-rate schedules (applied by mutating the optimiser's lr)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class StepDecay:
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineDecay:
+    """Cosine annealing from the base lr to ``min_lr`` over ``total`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, total: int, min_lr: float = 0.0):
+        if total <= 0:
+            raise ValueError("total must be positive")
+        self.optimizer = optimizer
+        self.total = total
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.total)
+        ratio = 0.5 * (1.0 + math.cos(math.pi * self.epoch / self.total))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * ratio

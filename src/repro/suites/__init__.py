@@ -1,0 +1,25 @@
+"""Real-world HLS benchmark substitutes.
+
+Mini-C re-implementations (integer/fixed-point) of the three suites the
+paper uses for generalisation evaluation: MachSuite (16 kernels),
+CHStone (10) and PolyBench/C (30). Problem sizes are reduced so the
+simulated flow stays fast; kernel *structure* (loop nests, array access
+patterns, operator mix) follows the originals, which is what makes their
+graphs distributionally different from the synthetic set.
+"""
+
+from repro.suites.registry import (
+    SUITE_NAMES,
+    all_programs,
+    suite_programs,
+)
+from repro.suites import chstone, machsuite, polybench
+
+__all__ = [
+    "SUITE_NAMES",
+    "all_programs",
+    "suite_programs",
+    "chstone",
+    "machsuite",
+    "polybench",
+]

@@ -1,0 +1,310 @@
+"""CHStone kernel substitutes (Hara et al., 2009) — 10 kernels.
+
+CHStone is control-heavy C (codecs, soft processors, floating-point
+emulation). The floating-point kernels are re-expressed as the integer
+mantissa/exponent manipulations they actually perform, which preserves
+their graph character (wide bitwise ops, shifts, deep branching).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_ import Call, Cond, Program
+from repro.suites._dsl import (
+    A,
+    C,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U32,
+    V,
+    add,
+    at,
+    b,
+    decl,
+    kernel,
+    loop,
+    mul,
+    ret,
+    set_,
+    sub,
+    when,
+)
+
+
+def adpcm() -> Program:
+    """ADPCM encode step: predictor update with step-size table."""
+    return kernel(
+        "ch_adpcm",
+        [("samples", A(I16, 16)), ("step_table", A(I16, 16))],
+        [
+            decl("pred", I32, 0),
+            decl("index", I32, 0),
+            decl("out", I32, 0),
+            loop("i", 16, [
+                decl("diff", I32, sub(at("samples", "i"), "pred")),
+                decl("sign", I32, Cond(b("<", "diff", 0), C(8), C(0))),
+                decl("mag", I32, Call("abs", (V("diff"),))),
+                decl("step", I32, at("step_table", b("&", "index", 15))),
+                decl("code", I32, b("/", mul("mag", 4), b("|", "step", 1))),
+                set_("code", Call("min", (V("code"), C(7)))),
+                set_("pred", add("pred", mul(Cond(b("!=", "sign", 0), C(-1), C(1)),
+                                             b(">>", mul("code", "step"), 2)))),
+                set_("index", Call("min", (Call("max", (add("index", sub("code", 3)), C(0))), C(15)))),
+                set_("out", b("^", "out", b("|", "code", "sign"))),
+            ]),
+            ret("out"),
+        ],
+    )
+
+
+def aes_cipher() -> Program:
+    """AES round: SubBytes + ShiftRows-style permutation + MixColumns."""
+    return kernel(
+        "ch_aes",
+        [("state", A(U8, 16)), ("sbox", A(U8, 64)), ("rkey", A(U8, 16))],
+        [
+            loop("i", 16, [
+                set_(at("state", "i"), at("sbox", b("&", at("state", "i"), 63))),
+            ]),
+            loop("c", 4, [
+                decl("s0", I32, at("state", mul("c", 4))),
+                decl("s1", I32, at("state", add(mul("c", 4), 1))),
+                decl("s2", I32, at("state", add(mul("c", 4), 2))),
+                decl("s3", I32, at("state", add(mul("c", 4), 3))),
+                decl("x0", I32, b("^", mul("s0", 2), mul("s1", 3))),
+                decl("x1", I32, b("^", mul("s1", 2), mul("s2", 3))),
+                set_(at("state", mul("c", 4)), b("&", b("^", "x0", b("^", "s2", "s3")), 255)),
+                set_(at("state", add(mul("c", 4), 1)), b("&", b("^", "x1", b("^", "s3", "s0")), 255)),
+            ]),
+            decl("acc", I32, 0),
+            loop("i", 16, [
+                set_(at("state", "i"), b("^", at("state", "i"), at("rkey", "i"))),
+                set_("acc", b("^", "acc", at("state", "i"))),
+            ]),
+            ret("acc"),
+        ],
+    )
+
+
+def blowfish() -> Program:
+    """Blowfish Feistel rounds with S-box substitution."""
+    return kernel(
+        "ch_blowfish",
+        [("p_box", A(U32, 16)), ("sbox", A(U32, 64)), ("left", I32), ("right", I32)],
+        [
+            decl("xl", I32, V("left")),
+            decl("xr", I32, V("right")),
+            loop("r", 16, [
+                set_("xl", b("^", "xl", at("p_box", "r"))),
+                decl("a", I32, b("&", b(">>", "xl", 6), 63)),
+                decl("bq", I32, b("&", "xl", 63)),
+                decl("f", I32, add(at("sbox", "a"), at("sbox", "bq"))),
+                set_("xr", b("^", "xr", "f")),
+                decl("swap", I32, V("xl")),
+                set_("xl", V("xr")),
+                set_("xr", V("swap")),
+            ]),
+            ret(b("^", "xl", "xr")),
+        ],
+    )
+
+
+def dfadd() -> Program:
+    """Soft-float double add: unpack, align mantissas, add, renormalise."""
+    return kernel(
+        "ch_dfadd",
+        [("a", I64), ("bv", I64)],
+        [
+            decl("exp_a", I32, b("&", b(">>", "a", 5), 255)),
+            decl("exp_b", I32, b("&", b(">>", "bv", 5), 255)),
+            decl("man_a", I64, b("|", b("&", "a", 31), 32)),
+            decl("man_b", I64, b("|", b("&", "bv", 31), 32)),
+            decl("shift", I32, Call("abs", (sub("exp_a", "exp_b"),))),
+            set_("shift", Call("min", (V("shift"), C(6)))),
+            decl("man_sum", I64, 0),
+            when(b(">=", "exp_a", "exp_b"), [
+                set_("man_sum", add("man_a", b(">>", "man_b", 2))),
+            ], [
+                set_("man_sum", add(b(">>", "man_a", 2), "man_b")),
+            ]),
+            decl("exp_r", I32, Call("max", (V("exp_a"), V("exp_b")))),
+            when(b(">", "man_sum", 63), [
+                set_("man_sum", b(">>", "man_sum", 1)),
+                set_("exp_r", add("exp_r", 1)),
+            ]),
+            ret(b("|", b("<<", "exp_r", 5), b("&", "man_sum", 31))),
+        ],
+    )
+
+
+def dfdiv() -> Program:
+    """Soft-float divide: exponent subtract + iterative mantissa divide."""
+    return kernel(
+        "ch_dfdiv",
+        [("a", I64), ("bv", I64)],
+        [
+            decl("exp_a", I32, b("&", b(">>", "a", 5), 255)),
+            decl("exp_b", I32, b("&", b(">>", "bv", 5), 255)),
+            decl("man_a", I64, b("|", b("&", "a", 31), 32)),
+            decl("man_b", I64, b("|", b("&", "bv", 31), 32)),
+            decl("quotient", I64, 0),
+            decl("rem", I64, V("man_a")),
+            loop("i", 8, [
+                set_("quotient", b("<<", "quotient", 1)),
+                when(b(">=", "rem", "man_b"), [
+                    set_("rem", sub("rem", "man_b")),
+                    set_("quotient", b("|", "quotient", 1)),
+                ]),
+                set_("rem", b("<<", "rem", 1)),
+            ]),
+            decl("exp_r", I32, add(sub("exp_a", "exp_b"), 127)),
+            ret(b("|", b("<<", "exp_r", 5), b("&", "quotient", 31))),
+        ],
+    )
+
+
+def dfmul() -> Program:
+    """Soft-float multiply: mantissa product + exponent add."""
+    return kernel(
+        "ch_dfmul",
+        [("a", I64), ("bv", I64)],
+        [
+            decl("exp_a", I32, b("&", b(">>", "a", 5), 255)),
+            decl("exp_b", I32, b("&", b(">>", "bv", 5), 255)),
+            decl("man_a", I64, b("|", b("&", "a", 31), 32)),
+            decl("man_b", I64, b("|", b("&", "bv", 31), 32)),
+            decl("product", I64, mul("man_a", "man_b")),
+            decl("exp_r", I32, sub(add("exp_a", "exp_b"), 127)),
+            when(b(">", "product", C(2047)), [
+                set_("product", b(">>", "product", 1)),
+                set_("exp_r", add("exp_r", 1)),
+            ]),
+            ret(b("|", b("<<", "exp_r", 5), b("&", b(">>", "product", 5), 31))),
+        ],
+    )
+
+
+def dfsin() -> Program:
+    """Soft-float sine via 4-term Taylor series in fixed point."""
+    return kernel(
+        "ch_dfsin",
+        [("x", I32)],
+        [
+            decl("x2", I64, b(">>", mul("x", "x"), 12)),
+            decl("term", I64, V("x")),
+            decl("acc", I64, V("x")),
+            decl("sign", I32, C(-1)),
+            loop("k", 4, [
+                decl("denom", I32, add(mul(mul(add("k", 1), 2), add(mul(add("k", 1), 2), 1)), 0)),
+                set_("term", b("/", b(">>", mul("term", "x2"), 12), b("|", "denom", 1))),
+                set_("acc", add("acc", mul("sign", "term"))),
+                set_("sign", mul("sign", C(-1))),
+            ]),
+            ret(V("acc")),
+        ],
+        ret_type=I32,
+    )
+
+
+def gsm() -> Program:
+    """GSM LPC analysis: autocorrelation + reflection coefficients."""
+    return kernel(
+        "ch_gsm",
+        [("samples", A(I16, 32)), ("lar", A(I16, 8))],
+        [
+            decl("energy", I32, 0),
+            loop("i", 32, [
+                set_("energy", add("energy", b(">>", mul(at("samples", "i"), at("samples", "i")), 4))),
+            ]),
+            loop("k", 8, [
+                decl("corr", I32, 0),
+                loop("i", 24, [
+                    set_("corr", add("corr", b(">>", mul(
+                        at("samples", "i"),
+                        at("samples", b("&", add("i", add("k", 1)), 31))), 4))),
+                ]),
+                set_(at("lar", "k"), b("/", "corr", b("|", b(">>", "energy", 6), 1))),
+            ]),
+            ret(at("lar", 0)),
+        ],
+    )
+
+
+def mips() -> Program:
+    """Single-cycle MIPS interpreter step over a tiny instruction memory."""
+    return kernel(
+        "ch_mips",
+        [("imem", A(U32, 16)), ("regs", A(I32, 8))],
+        [
+            decl("pc", I32, 0),
+            decl("steps", I32, 0),
+            loop("cycle", 16, [
+                decl("inst", I32, at("imem", b("&", "pc", 15))),
+                decl("op", I32, b("&", b(">>", "inst", 12), 7)),
+                decl("rs", I32, b("&", b(">>", "inst", 9), 7)),
+                decl("rt", I32, b("&", b(">>", "inst", 6), 7)),
+                decl("rd", I32, b("&", b(">>", "inst", 3), 7)),
+                decl("va", I32, at("regs", "rs")),
+                decl("vb", I32, at("regs", "rt")),
+                when(b("==", "op", 0), [set_(at("regs", "rd"), add("va", "vb"))],
+                     [when(b("==", "op", 1), [set_(at("regs", "rd"), sub("va", "vb"))],
+                           [when(b("==", "op", 2), [set_(at("regs", "rd"), b("&", "va", "vb"))],
+                                 [when(b("==", "op", 3), [set_(at("regs", "rd"), b("|", "va", "vb"))],
+                                       [set_(at("regs", "rd"), Cond(b("<", "va", "vb"), C(1), C(0)))])])])]),
+                set_("pc", add("pc", 1)),
+                set_("steps", add("steps", 1)),
+            ]),
+            ret(add("steps", at("regs", 2))),
+        ],
+    )
+
+
+def motion() -> Program:
+    """MPEG motion vector decoding: sum of absolute differences search."""
+    return kernel(
+        "ch_motion",
+        [("ref", A(U8, 64)), ("cur", A(U8, 16)), ("best_out", A(I32, 2))],
+        [
+            decl("best", I32, C(1 << 20)),
+            decl("best_dx", I32, 0),
+            loop("dx", 4, [
+                decl("sad", I32, 0),
+                loop("i", 4, [
+                    loop("j", 4, [
+                        decl("diff", I32, sub(
+                            at("cur", add(mul("i", 4), "j")),
+                            at("ref", b("&", add(add(mul("i", 8), "j"), "dx"), 63)))),
+                        set_("sad", add("sad", Call("abs", (V("diff"),)))),
+                    ]),
+                ]),
+                when(b("<", "sad", "best"), [
+                    set_("best", V("sad")),
+                    set_("best_dx", V("dx")),
+                ]),
+            ]),
+            set_(at("best_out", 0), "best"),
+            set_(at("best_out", 1), "best_dx"),
+            ret("best"),
+        ],
+    )
+
+
+KERNELS = (
+    adpcm,
+    aes_cipher,
+    blowfish,
+    dfadd,
+    dfdiv,
+    dfmul,
+    dfsin,
+    gsm,
+    mips,
+    motion,
+)
+
+
+def programs() -> list[Program]:
+    """All 10 CHStone substitute kernels."""
+    return [build() for build in KERNELS]

@@ -1,0 +1,465 @@
+"""MachSuite kernel substitutes (Reagen et al., IISWC 2014) — 16 kernels.
+
+Each function returns one :class:`~repro.frontend.ast_.Program` with the
+loop/array structure of the original benchmark at a reduced problem size.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_ import Call, Cond, Program
+from repro.suites._dsl import (
+    A,
+    C,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U32,
+    V,
+    add,
+    at,
+    b,
+    decl,
+    kernel,
+    loop,
+    mul,
+    ret,
+    set_,
+    sub,
+    when,
+)
+
+N = 16  # canonical reduced dimension
+
+
+def aes_addroundkey() -> Program:
+    """AES AddRoundKey + SubBytes-style table pass over the state."""
+    return kernel(
+        "ms_aes",
+        [("state", A(U8, 16)), ("key", A(U8, 16)), ("sbox", A(U8, 64))],
+        [
+            decl("parity", I32, 0),
+            loop("i", 16, [
+                set_(at("state", "i"), b("^", at("state", "i"), at("key", "i"))),
+                set_(at("state", "i"), at("sbox", b("&", at("state", "i"), 63))),
+                set_("parity", b("^", "parity", at("state", "i"))),
+            ]),
+            ret("parity"),
+        ],
+    )
+
+
+def backprop() -> Program:
+    """One dense layer forward + delta update (integer activations)."""
+    return kernel(
+        "ms_backprop",
+        [("w", A(I16, 64)), ("x", A(I16, 8)), ("y", A(I16, 8)), ("delta", A(I16, 8))],
+        [
+            decl("err", I32, 0),
+            loop("i", 8, [
+                decl("acc", I32, 0),
+                loop("j", 8, [
+                    set_("acc", add("acc", mul(at("w", add(mul("i", 8), "j")), at("x", "j")))),
+                ]),
+                # Saturating-style activation: acc >> 4 clamped by select.
+                decl("act", I32, b(">>", "acc", 4)),
+                set_(at("delta", "i"), sub(at("y", "i"), "act")),
+                set_("err", add("err", mul(at("delta", "i"), at("delta", "i")))),
+            ]),
+            ret("err"),
+        ],
+    )
+
+
+def bfs_bulk() -> Program:
+    """Bulk BFS level expansion over a CSR-ish edge list."""
+    return kernel(
+        "ms_bfs",
+        [("level", A(I8, N)), ("edge_src", A(I8, 32)), ("edge_dst", A(I8, 32)),
+         ("frontier", I32)],
+        [
+            decl("updates", I32, 0),
+            loop("e", 32, [
+                decl("s", I32, b("&", at("edge_src", "e"), N - 1)),
+                decl("d", I32, b("&", at("edge_dst", "e"), N - 1)),
+                when(b("==", at("level", "s"), "frontier"), [
+                    when(b("<", at("level", "d"), 0), [
+                        set_(at("level", "d"), add("frontier", 1)),
+                        set_("updates", add("updates", 1)),
+                    ]),
+                ]),
+            ]),
+            ret("updates"),
+        ],
+    )
+
+
+def fft_strided() -> Program:
+    """One strided FFT butterfly stage (integer twiddles)."""
+    return kernel(
+        "ms_fft",
+        [("real", A(I32, N)), ("img", A(I32, N)), ("tw_r", A(I16, 8)), ("tw_i", A(I16, 8))],
+        [
+            decl("checksum", I32, 0),
+            loop("k", 8, [
+                decl("even_r", I32, at("real", "k")),
+                decl("even_i", I32, at("img", "k")),
+                decl("odd_r", I32, at("real", add("k", 8))),
+                decl("odd_i", I32, at("img", add("k", 8))),
+                decl("rot_r", I32, sub(mul("odd_r", at("tw_r", "k")), mul("odd_i", at("tw_i", "k")))),
+                decl("rot_i", I32, add(mul("odd_r", at("tw_i", "k")), mul("odd_i", at("tw_r", "k")))),
+                set_(at("real", "k"), add("even_r", b(">>", "rot_r", 8))),
+                set_(at("img", "k"), add("even_i", b(">>", "rot_i", 8))),
+                set_(at("real", add("k", 8)), sub("even_r", b(">>", "rot_r", 8))),
+                set_(at("img", add("k", 8)), sub("even_i", b(">>", "rot_i", 8))),
+                set_("checksum", b("^", "checksum", at("real", "k"))),
+            ]),
+            ret("checksum"),
+        ],
+    )
+
+
+def gemm_ncubed() -> Program:
+    """Naive n^3 matrix multiply, 8x8."""
+    return kernel(
+        "ms_gemm",
+        [("a", A(I16, 64)), ("bm", A(I16, 64)), ("cm", A(I32, 64))],
+        [
+            loop("i", 8, [
+                loop("j", 8, [
+                    decl("acc", I32, 0),
+                    loop("k", 8, [
+                        set_("acc", add("acc", mul(
+                            at("a", add(mul("i", 8), "k")),
+                            at("bm", add(mul("k", 8), "j"))))),
+                    ]),
+                    set_(at("cm", add(mul("i", 8), "j")), "acc"),
+                ]),
+            ]),
+            ret(at("cm", 0)),
+        ],
+    )
+
+
+def gemm_blocked() -> Program:
+    """Blocked matrix multiply (2x2 blocks of a 8x8 product)."""
+    return kernel(
+        "ms_gemm_blocked",
+        [("a", A(I16, 64)), ("bm", A(I16, 64)), ("cm", A(I32, 64))],
+        [
+            loop("jj", 4, [
+                loop("kk", 4, [
+                    loop("i", 8, [
+                        loop("j", 2, [
+                            decl("col", I32, add(mul("jj", 2), "j")),
+                            decl("acc", I32, at("cm", add(mul("i", 8), "col"))),
+                            loop("k", 2, [
+                                decl("row", I32, add(mul("kk", 2), "k")),
+                                set_("acc", add("acc", mul(
+                                    at("a", add(mul("i", 8), "row")),
+                                    at("bm", add(mul("row", 8), "col"))))),
+                            ]),
+                            set_(at("cm", add(mul("i", 8), "col")), "acc"),
+                        ]),
+                    ]),
+                ]),
+            ]),
+            ret(at("cm", 0)),
+        ],
+    )
+
+
+def kmp() -> Program:
+    """Knuth-Morris-Pratt string search over byte arrays."""
+    return kernel(
+        "ms_kmp",
+        [("pattern", A(I8, 4)), ("text", A(I8, 32)), ("kmp_next", A(I8, 4))],
+        [
+            decl("matches", I32, 0),
+            decl("q", I32, 0),
+            loop("i", 32, [
+                set_("q", Cond(b(">", "q", 3), C(0), V("q"))),
+                when(b("==", at("pattern", b("&", "q", 3)), at("text", "i")), [
+                    set_("q", add("q", 1)),
+                    when(b("==", "q", 4), [
+                        set_("matches", add("matches", 1)),
+                        set_("q", b("&", at("kmp_next", 3), 3)),
+                    ]),
+                ], [
+                    set_("q", b("&", at("kmp_next", b("&", "q", 3)), 3)),
+                ]),
+            ]),
+            ret("matches"),
+        ],
+    )
+
+
+def md_knn() -> Program:
+    """Molecular dynamics k-nearest-neighbour force kernel (fixed point)."""
+    return kernel(
+        "ms_md",
+        [("pos_x", A(I32, N)), ("pos_y", A(I32, N)), ("pos_z", A(I32, N)),
+         ("nbr", A(I8, 64)), ("force", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("fx", I32, 0),
+                loop("j", 4, [
+                    decl("k", I32, b("&", at("nbr", add(mul("i", 4), "j")), N - 1)),
+                    decl("dx", I32, sub(at("pos_x", "i"), at("pos_x", "k"))),
+                    decl("dy", I32, sub(at("pos_y", "i"), at("pos_y", "k"))),
+                    decl("dz", I32, sub(at("pos_z", "i"), at("pos_z", "k"))),
+                    decl("r2", I32, add(add(mul("dx", "dx"), mul("dy", "dy")), mul("dz", "dz"))),
+                    decl("inv", I32, b("/", C(1 << 16), b("|", "r2", 1))),
+                    set_("fx", add("fx", mul("dx", "inv"))),
+                ]),
+                set_(at("force", "i"), "fx"),
+            ]),
+            ret(at("force", 0)),
+        ],
+    )
+
+
+def nw() -> Program:
+    """Needleman-Wunsch sequence alignment DP (anti-diagonal free)."""
+    return kernel(
+        "ms_nw",
+        [("seq_a", A(I8, 8)), ("seq_b", A(I8, 8)), ("score", A(I32, 81))],
+        [
+            loop("i", 8, [
+                loop("j", 8, [
+                    decl("m", I32, Cond(
+                        b("==", at("seq_a", "i"), at("seq_b", "j")), C(1), C(-1))),
+                    decl("up", I32, add(at("score", add(mul("i", 9), add("j", 1))), C(-1))),
+                    decl("left", I32, add(at("score", add(mul(add("i", 1), 9), "j")), C(-1))),
+                    decl("diag", I32, add(at("score", add(mul("i", 9), "j")), "m")),
+                    set_(at("score", add(mul(add("i", 1), 9), add("j", 1))),
+                         Call("max", (Call("max", (V("up"), V("left"))), V("diag")))),
+                ]),
+            ]),
+            ret(at("score", 80)),
+        ],
+    )
+
+
+def sort_merge() -> Program:
+    """Bottom-up merge of two sorted halves into a scratch array."""
+    return kernel(
+        "ms_sort_merge",
+        [("data", A(I32, N)), ("temp", A(I32, N))],
+        [
+            decl("i", I32, 0),
+            decl("j", I32, 8),
+            loop("k", N, [
+                decl("take_left", I32, Cond(
+                    b(">=", "j", N), C(1),
+                    Cond(b(">=", "i", 8), C(0),
+                         Cond(b("<=", at("data", b("&", "i", N - 1)),
+                                   at("data", b("&", "j", N - 1))), C(1), C(0))))),
+                when(b("!=", "take_left", 0), [
+                    set_(at("temp", "k"), at("data", b("&", "i", N - 1))),
+                    set_("i", add("i", 1)),
+                ], [
+                    set_(at("temp", "k"), at("data", b("&", "j", N - 1))),
+                    set_("j", add("j", 1)),
+                ]),
+            ]),
+            ret(at("temp", 0)),
+        ],
+    )
+
+
+def sort_radix() -> Program:
+    """One radix-4 counting pass."""
+    return kernel(
+        "ms_sort_radix",
+        [("data", A(I32, N)), ("bucket", A(I32, 4)), ("out", A(I32, N)), ("shift", I32)],
+        [
+            loop("i", 4, [set_(at("bucket", "i"), 0)]),
+            loop("i", N, [
+                decl("d", I32, b("&", b(">>", at("data", "i"), 2), 3)),
+                set_(at("bucket", "d"), add(at("bucket", "d"), 1)),
+            ]),
+            decl("sum", I32, 0),
+            loop("i", 4, [
+                decl("count", I32, at("bucket", "i")),
+                set_(at("bucket", "i"), "sum"),
+                set_("sum", add("sum", "count")),
+            ]),
+            loop("i", N, [
+                decl("d", I32, b("&", b(">>", at("data", "i"), 2), 3)),
+                set_(at("out", b("&", at("bucket", "d"), N - 1)), at("data", "i")),
+                set_(at("bucket", "d"), add(at("bucket", "d"), 1)),
+            ]),
+            ret(at("out", 0)),
+        ],
+    )
+
+
+def spmv_crs() -> Program:
+    """Sparse matrix-vector multiply, CRS format."""
+    return kernel(
+        "ms_spmv",
+        [("values", A(I32, 32)), ("cols", A(I8, 32)), ("row_ptr", A(I8, N)),
+         ("vec", A(I32, N)), ("out", A(I32, N))],
+        [
+            loop("i", N - 1, [
+                decl("acc", I32, 0),
+                decl("start", I32, b("&", at("row_ptr", "i"), 31)),
+                loop("k", 4, [
+                    decl("idx", I32, b("&", add("start", "k"), 31)),
+                    set_("acc", add("acc", mul(
+                        at("values", "idx"),
+                        at("vec", b("&", at("cols", "idx"), N - 1))))),
+                ]),
+                set_(at("out", "i"), "acc"),
+            ]),
+            ret(at("out", 0)),
+        ],
+    )
+
+
+def spmv_ellpack() -> Program:
+    """Sparse matrix-vector multiply, ELLPACK format."""
+    return kernel(
+        "ms_spmv_ellpack",
+        [("nzval", A(I32, 64)), ("cols", A(I8, 64)), ("vec", A(I32, N)), ("out", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("acc", I32, 0),
+                loop("j", 4, [
+                    set_("acc", add("acc", mul(
+                        at("nzval", add(mul("j", N), "i")),
+                        at("vec", b("&", at("cols", add(mul("j", N), "i")), N - 1))))),
+                ]),
+                set_(at("out", "i"), "acc"),
+            ]),
+            ret(at("out", 0)),
+        ],
+    )
+
+
+def stencil2d() -> Program:
+    """3x3 stencil over an 8x8 grid."""
+    return kernel(
+        "ms_stencil2d",
+        [("orig", A(I32, 64)), ("filt", A(I16, 9)), ("sol", A(I32, 64))],
+        [
+            loop("r", 6, [
+                loop("c", 6, [
+                    decl("acc", I32, 0),
+                    loop("k1", 3, [
+                        loop("k2", 3, [
+                            set_("acc", add("acc", mul(
+                                at("filt", add(mul("k1", 3), "k2")),
+                                at("orig", add(mul(add("r", "k1"), 8), add("c", "k2")))))),
+                        ]),
+                    ]),
+                    set_(at("sol", add(mul("r", 8), "c")), "acc"),
+                ]),
+            ]),
+            ret(at("sol", 0)),
+        ],
+    )
+
+
+def stencil3d() -> Program:
+    """7-point 3D stencil over a 4x4x4 volume."""
+    return kernel(
+        "ms_stencil3d",
+        [("orig", A(I32, 64)), ("sol", A(I32, 64)), ("c0", I16), ("c1", I16)],
+        [
+            loop("i", 2, [
+                loop("j", 2, [
+                    loop("k", 2, [
+                        decl("x", I32, add(add(mul(add("i", 1), 16), mul(add("j", 1), 4)), add("k", 1))),
+                        decl("sum0", I32, at("orig", "x")),
+                        decl("sum1", I32, add(
+                            add(at("orig", b("&", add("x", 1), 63)), at("orig", b("&", sub("x", 1), 63))),
+                            add(at("orig", b("&", add("x", 4), 63)), at("orig", b("&", sub("x", 4), 63))))),
+                        set_("sum1", add("sum1", add(
+                            at("orig", b("&", add("x", 16), 63)),
+                            at("orig", b("&", sub("x", 16), 63))))),
+                        set_(at("sol", "x"), add(mul("c0", "sum0"), mul("c1", "sum1"))),
+                    ]),
+                ]),
+            ]),
+            ret(at("sol", 21)),
+        ],
+    )
+
+
+def viterbi() -> Program:
+    """Viterbi decoding DP step over a small trellis."""
+    return kernel(
+        "ms_viterbi",
+        [("obs", A(I8, 8)), ("init", A(I32, 4)), ("transition", A(I32, 16)),
+         ("emission", A(I32, 32)), ("path", A(I32, 32))],
+        [
+            loop("s", 4, [
+                set_(at("path", "s"), add(at("init", "s"),
+                                          at("emission", b("&", at("obs", 0), 31)))),
+            ]),
+            loop("t", 7, [
+                loop("s", 4, [
+                    decl("best", I32, C(1 << 20)),
+                    loop("p", 4, [
+                        decl("cand", I32, add(
+                            at("path", add(mul("t", 4), "p")),
+                            at("transition", add(mul("p", 4), "s")))),
+                        set_("best", Call("min", (V("best"), V("cand")))),
+                    ]),
+                    set_(at("path", b("&", add(mul(add("t", 1), 4), "s"), 31)),
+                         add("best", at("emission", b("&", add("t", "s"), 31)))),
+                ]),
+            ]),
+            ret(at("path", 28)),
+        ],
+    )
+
+
+def crc32_kernel() -> Program:
+    """Bitwise CRC over a byte buffer."""
+    return kernel(
+        "ms_crc32",
+        [("data", A(U8, N)), ("poly", I32)],
+        [
+            decl("crc", I32, C(-1)),
+            loop("i", N, [
+                set_("crc", b("^", "crc", at("data", "i"))),
+                loop("k", 8, [
+                    decl("lsb", I32, b("&", "crc", 1)),
+                    set_("crc", b(">>", "crc", 1)),
+                    when(b("!=", "lsb", 0), [
+                        set_("crc", b("^", "crc", "poly")),
+                    ]),
+                ]),
+            ]),
+            ret("crc"),
+        ],
+    )
+
+
+KERNELS = (
+    aes_addroundkey,
+    backprop,
+    bfs_bulk,
+    fft_strided,
+    gemm_ncubed,
+    gemm_blocked,
+    kmp,
+    md_knn,
+    nw,
+    sort_merge,
+    sort_radix,
+    spmv_crs,
+    spmv_ellpack,
+    stencil2d,
+    stencil3d,
+    viterbi,
+)
+
+
+def programs() -> list[Program]:
+    """All 16 MachSuite substitute kernels."""
+    return [build() for build in KERNELS]

@@ -1,0 +1,854 @@
+"""PolyBench/C kernel substitutes (Pouchet & Yuki) — all 30 kernels.
+
+PolyBench is regular affine loop nests over dense arrays; the substitutes
+keep each kernel's loop structure and dependence pattern at size
+N=8 (matrices stored flat as 64-element arrays) with integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_ import Call, Cond, Program
+from repro.suites._dsl import (
+    A,
+    C,
+    I16,
+    I32,
+    V,
+    add,
+    at,
+    b,
+    decl,
+    kernel,
+    loop,
+    mul,
+    ret,
+    set_,
+    sub,
+    when,
+)
+
+N = 8
+NN = N * N
+
+
+def _idx(i, j):
+    return add(mul(i, N), j)
+
+
+def _mm_body(out: str, lhs: str, rhs: str) -> list:
+    """C[i][j] += A[i][k] * B[k][j] triple loop."""
+    return [
+        loop("i", N, [
+            loop("j", N, [
+                decl("acc", I32, at(out, _idx("i", "j"))),
+                loop("k", N, [
+                    set_("acc", add("acc", mul(at(lhs, _idx("i", "k")),
+                                               at(rhs, _idx("k", "j"))))),
+                ]),
+                set_(at(out, _idx("i", "j")), "acc"),
+            ]),
+        ]),
+    ]
+
+
+def p_2mm() -> Program:
+    return kernel(
+        "pb_2mm",
+        [("am", A(I16, NN)), ("bm", A(I16, NN)), ("cm", A(I32, NN)),
+         ("dm", A(I16, NN)), ("em", A(I32, NN)), ("alpha", I16)],
+        _mm_body("cm", "am", "bm")
+        + [
+            loop("i", N, [
+                loop("j", N, [
+                    decl("acc", I32, 0),
+                    loop("k", N, [
+                        set_("acc", add("acc", mul(at("cm", _idx("i", "k")),
+                                                   at("dm", _idx("k", "j"))))),
+                    ]),
+                    set_(at("em", _idx("i", "j")), mul("alpha", "acc")),
+                ]),
+            ]),
+            ret(at("em", 0)),
+        ],
+    )
+
+
+def p_3mm() -> Program:
+    return kernel(
+        "pb_3mm",
+        [("am", A(I16, NN)), ("bm", A(I16, NN)), ("cm", A(I32, NN)),
+         ("dm", A(I16, NN)), ("em", A(I32, NN)), ("fm", A(I32, NN))],
+        _mm_body("cm", "am", "bm")
+        + _mm_body("em", "cm", "dm")
+        + _mm_body("fm", "cm", "em")
+        + [ret(at("fm", 0))],
+    )
+
+
+def p_adi() -> Program:
+    """Alternating-direction-implicit time step (row/column sweeps)."""
+    return kernel(
+        "pb_adi",
+        [("u", A(I32, NN)), ("v", A(I32, NN)), ("a", I16), ("bp", I16)],
+        [
+            loop("i", N, [
+                loop("j", N - 2, [
+                    set_(at("v", _idx("i", add("j", 1))),
+                         add(mul("a", at("u", _idx("i", "j"))),
+                             mul("bp", at("u", _idx("i", add("j", 2)))))),
+                ]),
+            ]),
+            loop("j", N, [
+                loop("i", N - 2, [
+                    set_(at("u", _idx(add("i", 1), "j")),
+                         add(mul("a", at("v", _idx("i", "j"))),
+                             mul("bp", at("v", _idx(add("i", 2), "j"))))),
+                ]),
+            ]),
+            ret(at("u", 9)),
+        ],
+    )
+
+
+def p_atax() -> Program:
+    """y = A^T (A x)."""
+    return kernel(
+        "pb_atax",
+        [("am", A(I16, NN)), ("x", A(I32, N)), ("y", A(I32, N)), ("tmp", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("acc", I32, 0),
+                loop("j", N, [
+                    set_("acc", add("acc", mul(at("am", _idx("i", "j")), at("x", "j")))),
+                ]),
+                set_(at("tmp", "i"), "acc"),
+            ]),
+            loop("j", N, [
+                decl("acc", I32, 0),
+                loop("i", N, [
+                    set_("acc", add("acc", mul(at("am", _idx("i", "j")), at("tmp", "i")))),
+                ]),
+                set_(at("y", "j"), "acc"),
+            ]),
+            ret(at("y", 0)),
+        ],
+    )
+
+
+def p_bicg() -> Program:
+    """BiCG sub-kernel: s = A^T r, q = A p."""
+    return kernel(
+        "pb_bicg",
+        [("am", A(I16, NN)), ("r", A(I32, N)), ("p", A(I32, N)),
+         ("s", A(I32, N)), ("q", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("accq", I32, 0),
+                loop("j", N, [
+                    set_(at("s", "j"), add(at("s", "j"),
+                                           mul(at("r", "i"), at("am", _idx("i", "j"))))),
+                    set_("accq", add("accq", mul(at("am", _idx("i", "j")), at("p", "j")))),
+                ]),
+                set_(at("q", "i"), "accq"),
+            ]),
+            ret(add(at("s", 0), at("q", 0))),
+        ],
+    )
+
+
+def p_cholesky() -> Program:
+    """Cholesky factorisation (integer approximation with shifts)."""
+    return kernel(
+        "pb_cholesky",
+        [("am", A(I32, NN))],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    when(b("<", "j", "i"), [
+                        decl("acc", I32, at("am", _idx("i", "j"))),
+                        loop("k", N, [
+                            when(b("<", "k", "j"), [
+                                set_("acc", sub("acc", mul(at("am", _idx("i", "k")),
+                                                           at("am", _idx("j", "k"))))),
+                            ]),
+                        ]),
+                        set_(at("am", _idx("i", "j")),
+                             b("/", "acc", b("|", at("am", _idx("j", "j")), 1))),
+                    ]),
+                ]),
+                decl("diag", I32, at("am", _idx("i", "i"))),
+                loop("k", N, [
+                    when(b("<", "k", "i"), [
+                        set_("diag", sub("diag", mul(at("am", _idx("i", "k")),
+                                                     at("am", _idx("i", "k"))))),
+                    ]),
+                ]),
+                set_(at("am", _idx("i", "i")), b(">>", "diag", 1)),
+            ]),
+            ret(at("am", 0)),
+        ],
+    )
+
+
+def p_correlation() -> Program:
+    return kernel(
+        "pb_correlation",
+        [("data", A(I16, NN)), ("mean", A(I32, N)), ("corr", A(I32, NN))],
+        [
+            loop("j", N, [
+                decl("acc", I32, 0),
+                loop("i", N, [set_("acc", add("acc", at("data", _idx("i", "j"))))]),
+                set_(at("mean", "j"), b(">>", "acc", 3)),
+            ]),
+            loop("i", N, [
+                loop("j", N, [
+                    decl("acc", I32, 0),
+                    loop("k", N, [
+                        set_("acc", add("acc", mul(
+                            sub(at("data", _idx("k", "i")), at("mean", "i")),
+                            sub(at("data", _idx("k", "j")), at("mean", "j"))))),
+                    ]),
+                    set_(at("corr", _idx("i", "j")), b(">>", "acc", 3)),
+                ]),
+            ]),
+            ret(at("corr", 0)),
+        ],
+    )
+
+
+def p_covariance() -> Program:
+    return kernel(
+        "pb_covariance",
+        [("data", A(I16, NN)), ("mean", A(I32, N)), ("cov", A(I32, NN))],
+        [
+            loop("j", N, [
+                decl("acc", I32, 0),
+                loop("i", N, [set_("acc", add("acc", at("data", _idx("i", "j"))))]),
+                set_(at("mean", "j"), b(">>", "acc", 3)),
+            ]),
+            loop("i", N, [
+                loop("j", N, [
+                    decl("acc", I32, 0),
+                    loop("k", N, [
+                        set_("acc", add("acc", mul(
+                            sub(at("data", _idx("k", "i")), at("mean", "i")),
+                            sub(at("data", _idx("k", "j")), at("mean", "j"))))),
+                    ]),
+                    set_(at("cov", _idx("i", "j")), b("/", "acc", 7)),
+                ]),
+            ]),
+            ret(at("cov", 0)),
+        ],
+    )
+
+
+def p_deriche() -> Program:
+    """Deriche recursive edge filter (causal + anticausal passes)."""
+    return kernel(
+        "pb_deriche",
+        [("img", A(I16, NN)), ("y1", A(I32, NN)), ("y2", A(I32, NN)),
+         ("a1", I16), ("b1", I16)],
+        [
+            loop("i", N, [
+                decl("ym1", I32, 0),
+                loop("j", N, [
+                    decl("val", I32, add(mul("a1", at("img", _idx("i", "j"))),
+                                         mul("b1", "ym1"))),
+                    set_(at("y1", _idx("i", "j")), "val"),
+                    set_("ym1", b(">>", "val", 4)),
+                ]),
+            ]),
+            loop("i", N, [
+                decl("yp1", I32, 0),
+                loop("j", N, [
+                    decl("jj", I32, sub(N - 1, "j")),
+                    decl("val", I32, add(mul("a1", at("img", _idx("i", "jj"))),
+                                         mul("b1", "yp1"))),
+                    set_(at("y2", _idx("i", "jj")), "val"),
+                    set_("yp1", b(">>", "val", 4)),
+                ]),
+            ]),
+            decl("acc", I32, 0),
+            loop("i", NN // 8, [
+                set_("acc", add("acc", add(at("y1", mul("i", 8)), at("y2", mul("i", 8))))),
+            ]),
+            ret("acc"),
+        ],
+    )
+
+
+def p_doitgen() -> Program:
+    return kernel(
+        "pb_doitgen",
+        [("aq", A(I32, NN)), ("c4", A(I16, NN)), ("sum", A(I32, N))],
+        [
+            loop("r", N, [
+                loop("p", N, [
+                    decl("acc", I32, 0),
+                    loop("s", N, [
+                        set_("acc", add("acc", mul(at("aq", _idx("r", "s")),
+                                                   at("c4", _idx("s", "p"))))),
+                    ]),
+                    set_(at("sum", "p"), "acc"),
+                ]),
+                loop("p", N, [
+                    set_(at("aq", _idx("r", "p")), at("sum", "p")),
+                ]),
+            ]),
+            ret(at("aq", 0)),
+        ],
+    )
+
+
+def p_durbin() -> Program:
+    """Durbin recursion for Toeplitz systems."""
+    return kernel(
+        "pb_durbin",
+        [("r", A(I32, N)), ("y", A(I32, N))],
+        [
+            set_(at("y", 0), UnaryNeg(at("r", 0))),
+            decl("beta", I32, C(1 << 8)),
+            decl("alpha", I32, UnaryNeg(at("r", 0))),
+            loop("k", N - 1, [
+                set_("beta", b(">>", mul("beta", sub(C(1 << 8), mul("alpha", "alpha"))), 8)),
+                decl("ssum", I32, 0),
+                loop("i", N, [
+                    when(b("<=", "i", "k"), [
+                        set_("ssum", add("ssum", mul(at("r", b("&", sub("k", "i"), N - 1)),
+                                                     at("y", "i")))),
+                    ]),
+                ]),
+                set_("alpha", b("/", UnaryNeg(add(at("r", b("&", add("k", 1), N - 1)), "ssum")),
+                                b("|", "beta", 1))),
+                set_(at("y", b("&", add("k", 1), N - 1)), "alpha"),
+            ]),
+            ret(at("y", N - 1)),
+        ],
+    )
+
+
+def UnaryNeg(expr):
+    from repro.frontend.ast_ import UnOp
+
+    return UnOp("-", expr)
+
+
+def p_fdtd2d() -> Program:
+    """2-D finite-difference time domain, one time step."""
+    return kernel(
+        "pb_fdtd2d",
+        [("ex", A(I32, NN)), ("ey", A(I32, NN)), ("hz", A(I32, NN))],
+        [
+            loop("i", N - 1, [
+                loop("j", N, [
+                    set_(at("ey", _idx(add("i", 1), "j")),
+                         sub(at("ey", _idx(add("i", 1), "j")),
+                             b(">>", sub(at("hz", _idx(add("i", 1), "j")),
+                                         at("hz", _idx("i", "j"))), 1))),
+                ]),
+            ]),
+            loop("i", N, [
+                loop("j", N - 1, [
+                    set_(at("ex", _idx("i", add("j", 1))),
+                         sub(at("ex", _idx("i", add("j", 1))),
+                             b(">>", sub(at("hz", _idx("i", add("j", 1))),
+                                         at("hz", _idx("i", "j"))), 1))),
+                ]),
+            ]),
+            loop("i", N - 1, [
+                loop("j", N - 1, [
+                    set_(at("hz", _idx("i", "j")),
+                         sub(at("hz", _idx("i", "j")),
+                             b(">>", add(sub(at("ex", _idx("i", add("j", 1))),
+                                             at("ex", _idx("i", "j"))),
+                                         sub(at("ey", _idx(add("i", 1), "j")),
+                                             at("ey", _idx("i", "j")))), 2))),
+                ]),
+            ]),
+            ret(at("hz", 0)),
+        ],
+    )
+
+
+def p_floyd_warshall() -> Program:
+    return kernel(
+        "pb_floyd_warshall",
+        [("path", A(I32, NN))],
+        [
+            loop("k", N, [
+                loop("i", N, [
+                    loop("j", N, [
+                        decl("via", I32, add(at("path", _idx("i", "k")),
+                                             at("path", _idx("k", "j")))),
+                        set_(at("path", _idx("i", "j")),
+                             Call("min", (at("path", _idx("i", "j")), V("via")))),
+                    ]),
+                ]),
+            ]),
+            ret(at("path", NN - 1)),
+        ],
+    )
+
+
+def p_gemm() -> Program:
+    return kernel(
+        "pb_gemm",
+        [("cm", A(I32, NN)), ("am", A(I16, NN)), ("bm", A(I16, NN)),
+         ("alpha", I16), ("beta", I16)],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    set_(at("cm", _idx("i", "j")), mul("beta", at("cm", _idx("i", "j")))),
+                    decl("acc", I32, 0),
+                    loop("k", N, [
+                        set_("acc", add("acc", mul(at("am", _idx("i", "k")),
+                                                   at("bm", _idx("k", "j"))))),
+                    ]),
+                    set_(at("cm", _idx("i", "j")),
+                         add(at("cm", _idx("i", "j")), mul("alpha", "acc"))),
+                ]),
+            ]),
+            ret(at("cm", 0)),
+        ],
+    )
+
+
+def p_gemver() -> Program:
+    return kernel(
+        "pb_gemver",
+        [("am", A(I32, NN)), ("u1", A(I32, N)), ("v1", A(I32, N)),
+         ("u2", A(I32, N)), ("v2", A(I32, N)), ("w", A(I32, N)),
+         ("x", A(I32, N)), ("y", A(I32, N)), ("z", A(I32, N))],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    set_(at("am", _idx("i", "j")),
+                         add(at("am", _idx("i", "j")),
+                             add(mul(at("u1", "i"), at("v1", "j")),
+                                 mul(at("u2", "i"), at("v2", "j"))))),
+                ]),
+            ]),
+            loop("i", N, [
+                decl("acc", I32, at("x", "i")),
+                loop("j", N, [
+                    set_("acc", add("acc", mul(at("am", _idx("j", "i")), at("y", "j")))),
+                ]),
+                set_(at("x", "i"), add("acc", at("z", "i"))),
+            ]),
+            loop("i", N, [
+                decl("acc", I32, 0),
+                loop("j", N, [
+                    set_("acc", add("acc", mul(at("am", _idx("i", "j")), at("x", "j")))),
+                ]),
+                set_(at("w", "i"), "acc"),
+            ]),
+            ret(at("w", 0)),
+        ],
+    )
+
+
+def p_gesummv() -> Program:
+    return kernel(
+        "pb_gesummv",
+        [("am", A(I16, NN)), ("bm", A(I16, NN)), ("x", A(I32, N)), ("y", A(I32, N)),
+         ("alpha", I16), ("beta", I16)],
+        [
+            loop("i", N, [
+                decl("tmp_a", I32, 0),
+                decl("tmp_b", I32, 0),
+                loop("j", N, [
+                    set_("tmp_a", add("tmp_a", mul(at("am", _idx("i", "j")), at("x", "j")))),
+                    set_("tmp_b", add("tmp_b", mul(at("bm", _idx("i", "j")), at("x", "j")))),
+                ]),
+                set_(at("y", "i"), add(mul("alpha", "tmp_a"), mul("beta", "tmp_b"))),
+            ]),
+            ret(at("y", 0)),
+        ],
+    )
+
+
+def p_gramschmidt() -> Program:
+    return kernel(
+        "pb_gramschmidt",
+        [("am", A(I32, NN)), ("rm", A(I32, NN)), ("qm", A(I32, NN))],
+        [
+            loop("k", N, [
+                decl("norm", I32, 0),
+                loop("i", N, [
+                    set_("norm", add("norm", mul(at("am", _idx("i", "k")),
+                                                 at("am", _idx("i", "k"))))),
+                ]),
+                set_(at("rm", _idx("k", "k")), b(">>", "norm", 4)),
+                loop("i", N, [
+                    set_(at("qm", _idx("i", "k")),
+                         b("/", at("am", _idx("i", "k")),
+                           b("|", at("rm", _idx("k", "k")), 1))),
+                ]),
+                loop("j", N, [
+                    when(b(">", "j", "k"), [
+                        decl("acc", I32, 0),
+                        loop("i", N, [
+                            set_("acc", add("acc", mul(at("qm", _idx("i", "k")),
+                                                       at("am", _idx("i", "j"))))),
+                        ]),
+                        set_(at("rm", _idx("k", "j")), "acc"),
+                        loop("i", N, [
+                            set_(at("am", _idx("i", "j")),
+                                 sub(at("am", _idx("i", "j")),
+                                     mul(at("qm", _idx("i", "k")), "acc"))),
+                        ]),
+                    ]),
+                ]),
+            ]),
+            ret(at("rm", 0)),
+        ],
+    )
+
+
+def p_heat3d() -> Program:
+    """3-D heat equation on a 4x4x4 grid, one step."""
+    return kernel(
+        "pb_heat3d",
+        [("a", A(I32, 64)), ("bq", A(I32, 64))],
+        [
+            loop("i", 2, [
+                loop("j", 2, [
+                    loop("k", 2, [
+                        decl("x", I32, add(add(mul(add("i", 1), 16), mul(add("j", 1), 4)), add("k", 1))),
+                        decl("lap", I32, sub(
+                            add(add(at("a", b("&", add("x", 16), 63)), at("a", b("&", sub("x", 16), 63))),
+                                add(at("a", b("&", add("x", 4), 63)), at("a", b("&", sub("x", 4), 63)))),
+                            mul(C(4), at("a", "x")))),
+                        set_(at("bq", "x"), add(at("a", "x"), b(">>", "lap", 3))),
+                    ]),
+                ]),
+            ]),
+            ret(at("bq", 21)),
+        ],
+    )
+
+
+def p_jacobi1d() -> Program:
+    return kernel(
+        "pb_jacobi1d",
+        [("a", A(I32, 32)), ("bq", A(I32, 32))],
+        [
+            loop("t", 2, [
+                loop("i", 30, [
+                    set_(at("bq", add("i", 1)),
+                         b("/", add(add(at("a", "i"), at("a", add("i", 1))),
+                                    at("a", add("i", 2))), 3)),
+                ]),
+                loop("i", 30, [
+                    set_(at("a", add("i", 1)),
+                         b("/", add(add(at("bq", "i"), at("bq", add("i", 1))),
+                                    at("bq", add("i", 2))), 3)),
+                ]),
+            ]),
+            ret(at("a", 15)),
+        ],
+    )
+
+
+def p_jacobi2d() -> Program:
+    return kernel(
+        "pb_jacobi2d",
+        [("a", A(I32, NN)), ("bq", A(I32, NN))],
+        [
+            loop("i", N - 2, [
+                loop("j", N - 2, [
+                    decl("x", I32, _idx(add("i", 1), add("j", 1))),
+                    set_(at("bq", "x"),
+                         b("/", add(add(at("a", "x"), at("a", sub("x", 1))),
+                                    add(at("a", add("x", 1)),
+                                        add(at("a", b("&", add("x", N), NN - 1)),
+                                            at("a", b("&", sub("x", N), NN - 1))))), 5)),
+                ]),
+            ]),
+            ret(at("bq", 9)),
+        ],
+    )
+
+
+def p_lu() -> Program:
+    return kernel(
+        "pb_lu",
+        [("am", A(I32, NN))],
+        [
+            loop("k", N, [
+                loop("i", N, [
+                    when(b(">", "i", "k"), [
+                        set_(at("am", _idx("i", "k")),
+                             b("/", at("am", _idx("i", "k")),
+                               b("|", at("am", _idx("k", "k")), 1))),
+                        loop("j", N, [
+                            when(b(">", "j", "k"), [
+                                set_(at("am", _idx("i", "j")),
+                                     sub(at("am", _idx("i", "j")),
+                                         mul(at("am", _idx("i", "k")),
+                                             at("am", _idx("k", "j"))))),
+                            ]),
+                        ]),
+                    ]),
+                ]),
+            ]),
+            ret(at("am", 0)),
+        ],
+    )
+
+
+def p_ludcmp() -> Program:
+    return kernel(
+        "pb_ludcmp",
+        [("am", A(I32, NN)), ("bv", A(I32, N)), ("x", A(I32, N)), ("y", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("acc", I32, at("bv", "i")),
+                loop("j", N, [
+                    when(b("<", "j", "i"), [
+                        set_("acc", sub("acc", mul(at("am", _idx("i", "j")), at("y", "j")))),
+                    ]),
+                ]),
+                set_(at("y", "i"), "acc"),
+            ]),
+            loop("i", N, [
+                decl("ii", I32, sub(N - 1, "i")),
+                decl("acc", I32, at("y", "ii")),
+                loop("j", N, [
+                    when(b(">", "j", "ii"), [
+                        set_("acc", sub("acc", mul(at("am", _idx("ii", "j")), at("x", "j")))),
+                    ]),
+                ]),
+                set_(at("x", "ii"), b("/", "acc", b("|", at("am", _idx("ii", "ii")), 1))),
+            ]),
+            ret(at("x", 0)),
+        ],
+    )
+
+
+def p_mvt() -> Program:
+    return kernel(
+        "pb_mvt",
+        [("am", A(I16, NN)), ("x1", A(I32, N)), ("x2", A(I32, N)),
+         ("y1", A(I32, N)), ("y2", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("acc", I32, at("x1", "i")),
+                loop("j", N, [
+                    set_("acc", add("acc", mul(at("am", _idx("i", "j")), at("y1", "j")))),
+                ]),
+                set_(at("x1", "i"), "acc"),
+            ]),
+            loop("i", N, [
+                decl("acc", I32, at("x2", "i")),
+                loop("j", N, [
+                    set_("acc", add("acc", mul(at("am", _idx("j", "i")), at("y2", "j")))),
+                ]),
+                set_(at("x2", "i"), "acc"),
+            ]),
+            ret(add(at("x1", 0), at("x2", 0))),
+        ],
+    )
+
+
+def p_nussinov() -> Program:
+    """Nussinov RNA folding DP (max over pairings)."""
+    return kernel(
+        "pb_nussinov",
+        [("seq", A(I16, N)), ("table", A(I32, NN))],
+        [
+            loop("ii", N, [
+                decl("i", I32, sub(N - 1, "ii")),
+                loop("j", N, [
+                    when(b(">", "j", "i"), [
+                        decl("best", I32, at("table", _idx("i", sub("j", 1)))),
+                        set_("best", Call("max", (V("best"),
+                                                  at("table", _idx(b("&", add("i", 1), N - 1), "j"))))),
+                        decl("match", I32, Cond(
+                            b("==", add(at("seq", "i"), at("seq", "j")), 3), C(1), C(0))),
+                        set_("best", Call("max", (V("best"),
+                                                  add(at("table", _idx(b("&", add("i", 1), N - 1),
+                                                                       sub("j", 1))), "match")))),
+                        set_(at("table", _idx("i", "j")), "best"),
+                    ]),
+                ]),
+            ]),
+            ret(at("table", N - 1)),
+        ],
+    )
+
+
+def p_seidel2d() -> Program:
+    return kernel(
+        "pb_seidel2d",
+        [("a", A(I32, NN))],
+        [
+            loop("t", 2, [
+                loop("i", N - 2, [
+                    loop("j", N - 2, [
+                        decl("x", I32, _idx(add("i", 1), add("j", 1))),
+                        set_(at("a", "x"),
+                             b("/", add(add(add(at("a", b("&", sub("x", N), NN - 1)),
+                                                at("a", sub("x", 1))),
+                                            add(at("a", "x"), at("a", add("x", 1)))),
+                                        at("a", b("&", add("x", N), NN - 1))), 5)),
+                    ]),
+                ]),
+            ]),
+            ret(at("a", 9)),
+        ],
+    )
+
+
+def p_symm() -> Program:
+    return kernel(
+        "pb_symm",
+        [("cm", A(I32, NN)), ("am", A(I16, NN)), ("bm", A(I16, NN)), ("alpha", I16)],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    decl("temp", I32, 0),
+                    loop("k", N, [
+                        when(b("<", "k", "i"), [
+                            set_(at("cm", _idx("k", "j")),
+                                 add(at("cm", _idx("k", "j")),
+                                     mul("alpha", mul(at("bm", _idx("i", "j")),
+                                                      at("am", _idx("i", "k")))))),
+                            set_("temp", add("temp", mul(at("bm", _idx("k", "j")),
+                                                         at("am", _idx("i", "k"))))),
+                        ]),
+                    ]),
+                    set_(at("cm", _idx("i", "j")),
+                         add(at("cm", _idx("i", "j")),
+                             mul("alpha", add(mul(at("bm", _idx("i", "j")),
+                                                  at("am", _idx("i", "i"))), "temp")))),
+                ]),
+            ]),
+            ret(at("cm", 0)),
+        ],
+    )
+
+
+def p_syr2k() -> Program:
+    return kernel(
+        "pb_syr2k",
+        [("cm", A(I32, NN)), ("am", A(I16, NN)), ("bm", A(I16, NN)), ("alpha", I16)],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    when(b("<=", "j", "i"), [
+                        decl("acc", I32, at("cm", _idx("i", "j"))),
+                        loop("k", N, [
+                            set_("acc", add("acc", mul("alpha",
+                                add(mul(at("am", _idx("i", "k")), at("bm", _idx("j", "k"))),
+                                    mul(at("bm", _idx("i", "k")), at("am", _idx("j", "k"))))))),
+                        ]),
+                        set_(at("cm", _idx("i", "j")), "acc"),
+                    ]),
+                ]),
+            ]),
+            ret(at("cm", 0)),
+        ],
+    )
+
+
+def p_syrk() -> Program:
+    return kernel(
+        "pb_syrk",
+        [("cm", A(I32, NN)), ("am", A(I16, NN)), ("alpha", I16), ("beta", I16)],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    when(b("<=", "j", "i"), [
+                        decl("acc", I32, mul("beta", at("cm", _idx("i", "j")))),
+                        loop("k", N, [
+                            set_("acc", add("acc", mul("alpha",
+                                mul(at("am", _idx("i", "k")), at("am", _idx("j", "k")))))),
+                        ]),
+                        set_(at("cm", _idx("i", "j")), "acc"),
+                    ]),
+                ]),
+            ]),
+            ret(at("cm", 0)),
+        ],
+    )
+
+
+def p_trisolv() -> Program:
+    return kernel(
+        "pb_trisolv",
+        [("lm", A(I32, NN)), ("x", A(I32, N)), ("bv", A(I32, N))],
+        [
+            loop("i", N, [
+                decl("acc", I32, at("bv", "i")),
+                loop("j", N, [
+                    when(b("<", "j", "i"), [
+                        set_("acc", sub("acc", mul(at("lm", _idx("i", "j")), at("x", "j")))),
+                    ]),
+                ]),
+                set_(at("x", "i"), b("/", "acc", b("|", at("lm", _idx("i", "i")), 1))),
+            ]),
+            ret(at("x", N - 1)),
+        ],
+    )
+
+
+def p_trmm() -> Program:
+    return kernel(
+        "pb_trmm",
+        [("am", A(I16, NN)), ("bm", A(I32, NN)), ("alpha", I16)],
+        [
+            loop("i", N, [
+                loop("j", N, [
+                    decl("acc", I32, at("bm", _idx("i", "j"))),
+                    loop("k", N, [
+                        when(b(">", "k", "i"), [
+                            set_("acc", add("acc", mul(at("am", _idx("k", "i")),
+                                                       at("bm", _idx("k", "j"))))),
+                        ]),
+                    ]),
+                    set_(at("bm", _idx("i", "j")), mul("alpha", "acc")),
+                ]),
+            ]),
+            ret(at("bm", 0)),
+        ],
+    )
+
+
+KERNELS = (
+    p_2mm,
+    p_3mm,
+    p_adi,
+    p_atax,
+    p_bicg,
+    p_cholesky,
+    p_correlation,
+    p_covariance,
+    p_deriche,
+    p_doitgen,
+    p_durbin,
+    p_fdtd2d,
+    p_floyd_warshall,
+    p_gemm,
+    p_gemver,
+    p_gesummv,
+    p_gramschmidt,
+    p_heat3d,
+    p_jacobi1d,
+    p_jacobi2d,
+    p_lu,
+    p_ludcmp,
+    p_mvt,
+    p_nussinov,
+    p_seidel2d,
+    p_symm,
+    p_syr2k,
+    p_syrk,
+    p_trisolv,
+    p_trmm,
+)
+
+
+def programs() -> list[Program]:
+    """All 30 PolyBench substitute kernels."""
+    return [build() for build in KERNELS]

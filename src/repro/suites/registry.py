@@ -1,0 +1,32 @@
+"""Suite registry: name -> kernel programs."""
+
+from __future__ import annotations
+
+from repro.frontend.ast_ import Program
+
+SUITE_NAMES = ("machsuite", "chstone", "polybench")
+
+
+def suite_programs(name: str) -> list[Program]:
+    """Programs of one suite by name."""
+    if name == "machsuite":
+        from repro.suites import machsuite
+
+        return machsuite.programs()
+    if name == "chstone":
+        from repro.suites import chstone
+
+        return chstone.programs()
+    if name == "polybench":
+        from repro.suites import polybench
+
+        return polybench.programs()
+    raise KeyError(f"unknown suite {name!r}; available: {SUITE_NAMES}")
+
+
+def all_programs() -> list[Program]:
+    """All 56 real-case kernels across the three suites."""
+    result: list[Program] = []
+    for name in SUITE_NAMES:
+        result.extend(suite_programs(name))
+    return result

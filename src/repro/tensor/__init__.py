@@ -1,0 +1,74 @@
+"""A small reverse-mode automatic-differentiation engine on numpy.
+
+This package substitutes for PyTorch in the original paper's stack. It
+provides a :class:`Tensor` wrapping a ``numpy.ndarray`` together with a
+dynamically built computation graph, a functional namespace mirroring the
+subset of ``torch`` that the GNN zoo needs, and the scatter/gather
+primitives that message passing is built from.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.ops import (
+    abs_,
+    concat,
+    dropout,
+    elu,
+    exp,
+    leaky_relu,
+    log,
+    log_softmax,
+    logsumexp,
+    maximum,
+    minimum,
+    relu,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    tanh,
+    where,
+)
+from repro.tensor.scatter import (
+    gather_rows,
+    scatter_max,
+    scatter_mean,
+    scatter_min,
+    scatter_softmax,
+    scatter_std,
+    scatter_sum,
+    segment_counts,
+)
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "abs_",
+    "concat",
+    "dropout",
+    "elu",
+    "exp",
+    "leaky_relu",
+    "log",
+    "log_softmax",
+    "logsumexp",
+    "maximum",
+    "minimum",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "sqrt",
+    "stack",
+    "tanh",
+    "where",
+    "gather_rows",
+    "scatter_max",
+    "scatter_mean",
+    "scatter_min",
+    "scatter_softmax",
+    "scatter_std",
+    "scatter_sum",
+    "segment_counts",
+    "gradcheck",
+]

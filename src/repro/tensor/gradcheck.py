@@ -1,0 +1,56 @@
+"""Numerical gradient checking used throughout the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn())`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = float(fn().data.sum())
+        flat[i] = original - eps
+        lower = float(fn().data.sum())
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[], Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify autograd gradients of ``sum(fn())`` against finite differences.
+
+    ``fn`` must be a thunk re-running the computation from ``inputs`` (so
+    the numerical probe sees perturbed values). Raises ``AssertionError``
+    with a diagnostic on mismatch; returns ``True`` otherwise.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = fn()
+    out.backward(np.ones_like(out.data))
+    for position, tensor in enumerate(inputs):
+        expected = numerical_grad(fn, tensor, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(actual - expected)))
+            raise AssertionError(
+                f"gradcheck failed for input {position}: max abs error {worst:.3e}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )
+    return True

@@ -1,0 +1,170 @@
+"""Functional operations on :class:`~repro.tensor.Tensor`.
+
+These complement the methods on ``Tensor`` with multi-input ops
+(``concat``, ``stack``, ``where``, ``maximum``) and the stable softmax
+family that attention layers rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+
+def exp(x: Tensor) -> Tensor:
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return x.log()
+
+
+def sqrt(x: Tensor) -> Tensor:
+    return x.sqrt()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def abs_(x: Tensor) -> Tensor:
+    return x.abs()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0, 1.0, negative_slope))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    data = np.where(x.data > 0, x.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            local = np.where(x.data > 0, 1.0, exp_part + alpha)
+            x._accumulate(grad * local)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a_wins = (a.data >= b.data).astype(data.dtype)
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * a_wins, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (1.0 - a_wins), b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.minimum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a_wins = (a.data <= b.data).astype(data.dtype)
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * a_wins, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (1.0 - a_wins), b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a plain boolean array."""
+    condition = np.asarray(condition, dtype=bool)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * condition, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~condition, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` built from primitives."""
+    shift = Tensor(np.max(x.data, axis=axis, keepdims=True))
+    result = (x - shift).exp().sum(axis=axis, keepdims=True).log() + shift
+    if not keepdims:
+        result = result.squeeze(axis if axis >= 0 else x.ndim + axis)
+    return result
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def dropout(
+    x: Tensor, p: float, training: bool, rng: np.random.Generator
+) -> Tensor:
+    """Inverted dropout: identity in eval mode, rescaled mask in training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)

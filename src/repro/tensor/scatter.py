@@ -1,0 +1,129 @@
+"""Scatter/gather primitives — the substrate of message passing.
+
+All GNN aggregation in :mod:`repro.gnn` reduces to these five operations on
+a flat ``[num_edges, dim]`` message matrix and an integer target-index
+vector. Gradients flow through every primitive, so layers composed from
+them need no hand-written backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _check_index(index: np.ndarray, size: int, dim_size: int) -> np.ndarray:
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise ValueError(f"index must be 1-D, got shape {index.shape}")
+    if len(index) != size:
+        raise ValueError(f"index length {len(index)} != source rows {size}")
+    if len(index) and (index.min() < 0 or index.max() >= dim_size):
+        raise ValueError("index out of range for dim_size")
+    return index.astype(np.int64)
+
+
+def segment_counts(index: np.ndarray, dim_size: int) -> np.ndarray:
+    """Number of source rows mapping to each of ``dim_size`` segments."""
+    index = np.asarray(index, dtype=np.int64)
+    return np.bincount(index, minlength=dim_size).astype(np.float64)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]`` with gradient scatter-added back."""
+    index = np.asarray(index, dtype=np.int64)
+    data = x.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            out = np.zeros_like(x.data)
+            np.add.at(out, index, grad)
+            x._accumulate(out)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def scatter_sum(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Sum rows of ``src`` into ``dim_size`` output rows keyed by ``index``."""
+    index = _check_index(index, len(src.data), dim_size)
+    data = np.zeros((dim_size,) + src.shape[1:], dtype=src.data.dtype)
+    np.add.at(data, index, src.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if src.requires_grad:
+            src._accumulate(grad[index])
+
+    return Tensor._make(data, (src,), backward)
+
+
+def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Mean-aggregate rows of ``src`` per segment (empty segments give 0)."""
+    total = scatter_sum(src, index, dim_size)
+    counts = np.maximum(segment_counts(index, dim_size), 1.0)
+    counts = counts.reshape((dim_size,) + (1,) * (src.ndim - 1))
+    return total / Tensor(counts)
+
+
+def _scatter_extremum(
+    src: Tensor, index: np.ndarray, dim_size: int, mode: str
+) -> Tensor:
+    index = _check_index(index, len(src.data), dim_size)
+    fill = -np.inf if mode == "max" else np.inf
+    data = np.full((dim_size,) + src.shape[1:], fill, dtype=src.data.dtype)
+    ufunc = np.maximum if mode == "max" else np.minimum
+    ufunc.at(data, index, src.data)
+    # Empty segments stay at +-inf which would poison downstream maths;
+    # PyG uses 0 for them, and so do we.
+    empty = segment_counts(index, dim_size) == 0
+    data[empty] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        if not src.requires_grad:
+            return
+        winners = (src.data == data[index]).astype(src.data.dtype)
+        ties = np.zeros_like(data)
+        np.add.at(ties, index, winners)
+        ties = np.maximum(ties, 1.0)
+        src._accumulate(grad[index] * winners / ties[index])
+
+    return Tensor._make(data, (src,), backward)
+
+
+def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Per-segment elementwise max (0 for empty segments)."""
+    return _scatter_extremum(src, index, dim_size, "max")
+
+
+def scatter_min(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Per-segment elementwise min (0 for empty segments)."""
+    return _scatter_extremum(src, index, dim_size, "min")
+
+
+def scatter_std(
+    src: Tensor, index: np.ndarray, dim_size: int, eps: float = 1e-5
+) -> Tensor:
+    """Per-segment standard deviation, composed from differentiable parts.
+
+    Uses ``sqrt(relu(E[x^2] - E[x]^2) + eps)`` which matches the PNA
+    reference implementation and stays differentiable at zero variance.
+    """
+    mean = scatter_mean(src, index, dim_size)
+    mean_sq = scatter_mean(src * src, index, dim_size)
+    var = (mean_sq - mean * mean).relu()
+    return (var + eps).sqrt()
+
+
+def scatter_softmax(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Segment-wise softmax over rows of ``src`` (used by GAT attention).
+
+    The per-segment max is detached before subtraction — a standard
+    stabilisation that leaves gradients identical because softmax is
+    shift-invariant.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    seg_max = _scatter_extremum(src.detach(), index, dim_size, "max")
+    shifted = src - gather_rows(seg_max, index)
+    numer = shifted.exp()
+    denom = gather_rows(scatter_sum(numer, index, dim_size), index)
+    return numer / (denom + 1e-16)

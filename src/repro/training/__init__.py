@@ -1,0 +1,22 @@
+"""Training loops, losses and metrics."""
+
+from repro.training.losses import bce_with_logits, huber_loss, mse_loss
+from repro.training.metrics import binary_accuracy, mape
+from repro.training.trainer import (
+    TrainConfig,
+    TrainResult,
+    train_graph_regressor,
+    train_node_classifier,
+)
+
+__all__ = [
+    "bce_with_logits",
+    "huber_loss",
+    "mse_loss",
+    "binary_accuracy",
+    "mape",
+    "TrainConfig",
+    "TrainResult",
+    "train_graph_regressor",
+    "train_node_classifier",
+]

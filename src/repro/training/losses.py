@@ -1,0 +1,36 @@
+"""Differentiable losses composed from tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, maximum
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Smooth-L1: quadratic near zero, linear in the tails."""
+    diff = (pred - target).abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * diff - 0.5 * delta * delta
+    mask = diff.data <= delta
+    from repro.tensor import where
+
+    return where(mask, quadratic, linear).mean()
+
+
+def bce_with_logits(logits: Tensor, target: Tensor) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    zeros = Tensor(np.zeros_like(logits.data))
+    positive_part = maximum(logits, zeros)
+    abs_logits = logits.abs()
+    softplus = ((-abs_logits).exp() + 1.0).log()
+    return (positive_part - logits * target + softplus).mean()

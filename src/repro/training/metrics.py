@@ -1,0 +1,26 @@
+"""Evaluation metrics (plain numpy; no gradients needed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mape(pred: np.ndarray, target: np.ndarray, floor: float = 1.0) -> np.ndarray:
+    """Mean absolute percentage error per output column.
+
+    ``floor`` guards the denominator for targets that can be zero (DSP
+    counts): the error is measured relative to ``max(|target|, floor)``,
+    the standard convention for resource-count MAPE.
+    """
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    denom = np.maximum(np.abs(target), floor)
+    return np.mean(np.abs(pred - target) / denom, axis=0)
+
+
+def binary_accuracy(logits: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Per-column accuracy of sign(logit) against binary labels."""
+    pred = (np.asarray(logits) > 0).astype(float)
+    return np.mean(pred == np.asarray(target), axis=0)

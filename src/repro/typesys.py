@@ -1,0 +1,62 @@
+"""C type model: fixed-width integers (HLS ``ap_int`` style) and arrays.
+
+Lives outside both the frontend and IR packages because both depend on
+it (keeping the import graph acyclic)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CInt:
+    """A fixed-width integer type, signed or unsigned, 1..256 bits."""
+
+    width: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 256:
+            raise ValueError(f"integer width must be in [1, 256], got {self.width}")
+
+    @property
+    def c_name(self) -> str:
+        if self.width in (8, 16, 32, 64):
+            base = f"int{self.width}_t"
+            return base if self.signed else f"u{base}"
+        prefix = "ap_int" if self.signed else "ap_uint"
+        return f"{prefix}<{self.width}>"
+
+    def __str__(self) -> str:
+        return self.c_name
+
+
+@dataclass(frozen=True)
+class CArray:
+    """A statically sized one-dimensional array of integers."""
+
+    element: CInt
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"array length must be positive, got {self.length}")
+
+    @property
+    def c_name(self) -> str:
+        return f"{self.element.c_name}[{self.length}]"
+
+    def __str__(self) -> str:
+        return self.c_name
+
+
+CType = CInt | CArray
+
+INT8 = CInt(8)
+INT16 = CInt(16)
+INT32 = CInt(32)
+INT64 = CInt(64)
+UINT8 = CInt(8, signed=False)
+UINT16 = CInt(16, signed=False)
+UINT32 = CInt(32, signed=False)
+UINT64 = CInt(64, signed=False)

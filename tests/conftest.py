@@ -1,0 +1,81 @@
+"""Shared fixtures: tiny cached datasets and sample programs.
+
+Dataset construction (compile + HLS) is deterministic, so session-scoped
+fixtures keep the suite fast while every test sees identical data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_synthetic_dataset
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Decl,
+    For,
+    Function,
+    If,
+    IntConst,
+    Program,
+    Return,
+    Var,
+)
+from repro.typesys import CArray, CInt
+
+INT16, INT32 = CInt(16), CInt(32)
+
+
+@pytest.fixture(scope="session")
+def dfg_samples():
+    return build_synthetic_dataset("dfg", 24, seed=11)
+
+
+@pytest.fixture(scope="session")
+def cdfg_samples():
+    return build_synthetic_dataset("cdfg", 16, seed=12)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_straightline_program(name: str = "straight") -> Program:
+    """A small fixed DFG program used across compiler tests."""
+    body = [
+        Decl("t0", INT32, BinOp("*", Var("a"), Var("b"))),
+        Decl("t1", INT32, BinOp("+", Var("t0"), Var("c"))),
+        Decl("t2", INT32, BinOp("^", Var("t1"), IntConst(255))),
+        Return(BinOp("-", Var("t2"), Var("a"))),
+    ]
+    fn = Function(name, [("a", INT32), ("b", INT32), ("c", INT32)], INT32, body)
+    return Program(name, [fn])
+
+
+def make_loop_program(name: str = "loopy") -> Program:
+    """A fixed CDFG program: loop + branch + array traffic."""
+    body = [
+        Decl("acc", INT32, IntConst(0)),
+        For("i", 0, 8, 1, body=[
+            Decl("v", INT32, ArrayRef("x", Var("i"))),
+            If(BinOp(">", Var("v"), IntConst(0)),
+               then_body=[Assign(Var("acc"), BinOp("+", Var("acc"), Var("v")))],
+               else_body=[Assign(Var("acc"), BinOp("-", Var("acc"), IntConst(1)))]),
+        ]),
+        Return(Var("acc")),
+    ]
+    fn = Function(name, [("x", CArray(INT16, 8))], INT32, body)
+    return Program(name, [fn])
+
+
+@pytest.fixture()
+def straightline_program() -> Program:
+    return make_straightline_program()
+
+
+@pytest.fixture()
+def loop_program() -> Program:
+    return make_loop_program()

@@ -1,0 +1,126 @@
+"""Unit tests for DFG/CDFG extraction invariants (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import lower_program
+from repro.ir import EdgeType, NodeType, Opcode, extract_cdfg, extract_dfg
+from tests.conftest import make_loop_program, make_straightline_program
+
+
+@pytest.fixture(scope="module")
+def dfg():
+    return extract_dfg(lower_program(make_straightline_program()))
+
+
+@pytest.fixture(scope="module")
+def cdfg():
+    return extract_cdfg(lower_program(make_loop_program()))
+
+
+class TestDFG:
+    def test_is_acyclic(self, dfg):
+        assert not dfg.has_cycle()
+
+    def test_rejects_multiblock_functions(self):
+        fn = lower_program(make_loop_program())
+        with pytest.raises(ValueError):
+            extract_dfg(fn)
+
+    def test_has_port_nodes_for_scalar_args(self, dfg):
+        ports = [n for n in dfg.nodes if n.kind == NodeType.PORT]
+        assert len(ports) == 3  # a, b, c
+
+    def test_constants_are_misc_and_deduplicated(self):
+        program = make_straightline_program()
+        graph = extract_dfg(lower_program(program))
+        consts = [n for n in graph.nodes if n.opcode == Opcode.CONST]
+        labels = [n.label for n in consts]
+        assert len(labels) == len(set(labels))
+
+    def test_no_control_edges(self, dfg):
+        assert all(e[2] != EdgeType.CONTROL for e in dfg.edges)
+
+    def test_no_block_nodes(self, dfg):
+        assert all(n.kind != NodeType.BLOCK for n in dfg.nodes)
+
+    def test_cluster_is_asap_depth(self, dfg):
+        # Sources (ports/constants) sit at depth 0; the ret is deepest.
+        by_label = {n.label: n for n in dfg.nodes}
+        port_clusters = [n.cluster for n in dfg.nodes if n.kind == NodeType.PORT]
+        assert all(c == 0 for c in port_clusters)
+        op_clusters = [n.cluster for n in dfg.nodes if n.kind == NodeType.OPERATION]
+        assert max(op_clusters) >= 2
+
+    def test_data_edges_respect_ssa_order(self, dfg):
+        """Data edges between operations go from earlier to later ids."""
+        ops = {n.index: n for n in dfg.nodes if n.kind == NodeType.OPERATION}
+        for src, dst, etype, _ in dfg.edges:
+            if etype == EdgeType.DATA and src in ops and dst in ops:
+                assert ops[src].instruction_id < ops[dst].instruction_id
+
+
+class TestCDFG:
+    def test_has_cycle_through_loop(self, cdfg):
+        assert cdfg.has_cycle()
+
+    def test_exactly_one_back_edge_for_single_loop(self, cdfg):
+        assert sum(1 for e in cdfg.edges if e[3]) == 1
+
+    def test_back_edges_are_control(self, cdfg):
+        for src, dst, etype, back in cdfg.edges:
+            if back:
+                assert etype == EdgeType.CONTROL
+
+    def test_block_nodes_match_ir_blocks(self, cdfg):
+        fn = lower_program(make_loop_program())
+        blocks = [n for n in cdfg.nodes if n.kind == NodeType.BLOCK]
+        assert len(blocks) == len(fn.blocks)
+
+    def test_every_instruction_gets_control_edge_from_its_block(self, cdfg):
+        block_nodes = {n.index for n in cdfg.nodes if n.kind == NodeType.BLOCK}
+        op_nodes = {n.index for n in cdfg.nodes if n.kind == NodeType.OPERATION}
+        covered = {
+            dst
+            for src, dst, etype, _ in cdfg.edges
+            if etype == EdgeType.CONTROL and src in block_nodes and dst in op_nodes
+        }
+        assert covered == op_nodes
+
+    def test_phi_gets_control_edges_from_pred_blocks(self, cdfg):
+        phi_nodes = [n for n in cdfg.nodes if n.opcode == Opcode.PHI]
+        assert phi_nodes
+        block_nodes = {n.index for n in cdfg.nodes if n.kind == NodeType.BLOCK}
+        for phi in phi_nodes:
+            control_preds = [
+                src
+                for src, dst, etype, _ in cdfg.edges
+                if dst == phi.index and etype == EdgeType.CONTROL and src in block_nodes
+            ]
+            # owning block + one per incoming edge (>= 2 incoming for loops)
+            assert len(control_preds) >= 3
+
+    def test_memory_edges_present_for_array_traffic(self, cdfg):
+        assert any(e[2] == EdgeType.MEMORY for e in cdfg.edges)
+
+    def test_cluster_is_block_index(self, cdfg):
+        fn = lower_program(make_loop_program())
+        n_blocks = len(fn.blocks)
+        for node in cdfg.nodes:
+            if node.kind in (NodeType.OPERATION, NodeType.BLOCK):
+                assert 0 <= node.cluster < n_blocks
+
+    def test_single_block_function_allowed(self):
+        graph = extract_cdfg(lower_program(make_straightline_program()))
+        assert not graph.has_cycle()
+        blocks = [n for n in graph.nodes if n.kind == NodeType.BLOCK]
+        assert len(blocks) == 1
+
+
+class TestScaleStatistics:
+    def test_cdfg_larger_than_dfg_for_same_scale(self, dfg, cdfg):
+        # Control nodes/edges make CDFGs denser — the paper's stated
+        # reason CDFG prediction is harder.
+        dfg_density = dfg.num_edges / dfg.num_nodes
+        cdfg_density = cdfg.num_edges / cdfg.num_nodes
+        assert cdfg_density > dfg_density

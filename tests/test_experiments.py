@@ -1,0 +1,129 @@
+"""Smoke tests for the experiment harness at micro scale.
+
+These verify mechanics (finite results, correct shapes, well-formed
+tables) — the scientific orderings are exercised by the benchmark
+harness at the CI scale preset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    PRESETS,
+    ExperimentScale,
+    get_scale,
+    load_real_dataset,
+    predictor_config,
+)
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table4 import make_predictor, render_table4, run_table4
+from repro.experiments.table5 import hls_report_mape, render_table5, run_table5
+from repro.experiments.ablations import run_ablations
+
+MICRO = ExperimentScale(
+    name="micro",
+    num_dfg=28,
+    num_cdfg=20,
+    hidden_dim=12,
+    num_layers=2,
+    epochs=3,
+    batch_size=8,
+    lr=3e-3,
+    runs=1,
+)
+
+
+class TestScalePresets:
+    def test_three_presets_exist(self):
+        assert set(PRESETS) == {"ci", "small", "paper"}
+
+    def test_paper_preset_matches_section_5(self):
+        paper = PRESETS["paper"]
+        assert paper.num_dfg == 19120
+        assert paper.num_cdfg == 18570
+        assert paper.hidden_dim == 300
+        assert paper.num_layers == 5
+        assert paper.epochs == 100
+        assert paper.runs == 5
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "7")
+        assert get_scale("ci").epochs == 7
+
+    def test_predictor_config_propagates(self):
+        config = predictor_config(MICRO, "rgcn", seed=3)
+        assert config.hidden_dim == 12
+        assert config.train.epochs == 3
+        assert config.train.seed == 3
+
+
+class TestTable2:
+    def test_micro_run(self):
+        results = run_table2(
+            MICRO, models=("gcn",), datasets=("dfg",), verbose=False
+        )
+        row = results["gcn"]["dfg"]
+        assert row.shape == (4,)
+        assert np.isfinite(row).all()
+        text = render_table2(results, datasets=("dfg",))
+        assert "GCN" in text and "DFG LUT" in text
+
+
+class TestTable3:
+    def test_micro_run(self):
+        results = run_table3(MICRO, models=("gcn",), verbose=False)
+        for dataset in ("dfg", "cdfg", "real"):
+            accs = results["gcn"][dataset]
+            assert accs.shape == (3,)
+            assert (accs >= 0).all() and (accs <= 1).all()
+        assert "REAL FF" in render_table3(results)
+
+
+class TestTable4:
+    def test_micro_run(self):
+        results = run_table4(
+            MICRO, backbones=("gcn",), approaches=("base", "rich"),
+            datasets=("dfg",), verbose=False,
+        )
+        assert np.isfinite(results["gcn"]["base"]["dfg"]).all()
+        assert np.isfinite(results["gcn"]["rich"]["dfg"]).all()
+        text = render_table4(results, datasets=("dfg",))
+        assert "GCN-R" in text
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(KeyError):
+            make_predictor("oracle", predictor_config(MICRO, "gcn"))
+
+
+class TestTable5:
+    def test_hls_report_mape_shape(self):
+        real = load_real_dataset()
+        row = hls_report_mape(real)
+        assert row.shape == (4,)
+        # the signature bias: LUT error is the catastrophic one
+        assert row[1] > row[0]
+        assert row[1] > row[3]
+
+    def test_micro_run(self):
+        results = run_table5(
+            MICRO, backbones=("gcn",), approaches=("base",), verbose=False
+        )
+        assert "HLS" in results and "GCN" in results
+        assert np.isfinite(results["GCN"]).all()
+        assert "Metric" in render_table5(results)
+
+
+class TestAblations:
+    def test_pooling_ablation_micro(self):
+        results = run_ablations(MICRO, which=("pooling",), verbose=False)
+        assert set(results["pooling"]) == {"sum", "mean", "max"}
+        assert all(np.isfinite(v) for v in results["pooling"].values())
+
+    def test_feature_ablation_micro(self):
+        results = run_ablations(MICRO, which=("features",), verbose=False)
+        assert set(results["features"]) == {"full_table1", "node_type_only"}

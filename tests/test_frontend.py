@@ -1,0 +1,139 @@
+"""Unit tests for the mini-C AST, types and the C-source printer."""
+
+import pytest
+
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Cond,
+    Decl,
+    For,
+    Function,
+    If,
+    IntConst,
+    Program,
+    Return,
+    UnOp,
+    Var,
+    to_c_source,
+)
+from repro.frontend.printer import expr_to_c, function_to_c
+from repro.typesys import CArray, CInt
+
+
+class TestTypes:
+    def test_standard_widths_use_stdint_names(self):
+        assert CInt(32).c_name == "int32_t"
+        assert CInt(8, signed=False).c_name == "uint8_t"
+
+    def test_odd_widths_use_ap_int(self):
+        assert CInt(12).c_name == "ap_int<12>"
+        assert CInt(7, signed=False).c_name == "ap_uint<7>"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            CInt(0)
+        with pytest.raises(ValueError):
+            CInt(300)
+
+    def test_array_type(self):
+        arr = CArray(CInt(16), 32)
+        assert arr.c_name == "int16_t[32]"
+
+    def test_array_bad_length(self):
+        with pytest.raises(ValueError):
+            CArray(CInt(8), 0)
+
+
+class TestASTValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Var("a"), Var("b"))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            UnOp("+", Var("a"))
+
+    def test_zero_step_loop_rejected(self):
+        with pytest.raises(ValueError):
+            For("i", 0, 10, 0)
+
+    def test_nonterminating_loop_rejected(self):
+        with pytest.raises(ValueError):
+            For("i", 10, 0, 1)
+
+    def test_trip_count(self):
+        assert For("i", 0, 10, 1).trip_count == 10
+        assert For("i", 0, 10, 3).trip_count == 4
+
+    def test_program_top(self):
+        fn = Function("f", [], CInt(32), [Return(IntConst(0))])
+        assert Program("p", [fn]).top is fn
+
+    def test_empty_program_top_rejected(self):
+        with pytest.raises(ValueError):
+            Program("p", []).top
+
+
+class TestPrinter:
+    def test_expression_rendering(self):
+        expr = BinOp("+", Var("a"), BinOp("*", IntConst(2), Var("b")))
+        assert expr_to_c(expr) == "(a + (2 * b))"
+
+    def test_ternary_rendering(self):
+        expr = Cond(BinOp("<", Var("a"), Var("b")), Var("a"), Var("b"))
+        assert expr_to_c(expr) == "((a < b) ? a : b)"
+
+    def test_call_rendering(self):
+        assert expr_to_c(Call("max", (Var("a"), IntConst(3)))) == "max(a, 3)"
+
+    def test_array_ref_rendering(self):
+        assert expr_to_c(ArrayRef("buf", BinOp("&", Var("i"), IntConst(7)))) == (
+            "buf[(i & 7)]"
+        )
+
+    def test_function_rendering_contains_signature_and_loop(self):
+        fn = Function(
+            "k",
+            [("x", CArray(CInt(16), 8)), ("n", CInt(32))],
+            CInt(32),
+            [
+                Decl("acc", CInt(32), IntConst(0)),
+                For("i", 0, 8, 1, [
+                    Assign(Var("acc"), BinOp("+", Var("acc"), ArrayRef("x", Var("i")))),
+                ]),
+                Return(Var("acc")),
+            ],
+        )
+        text = function_to_c(fn)
+        assert "int32_t k(int16_t x[8], int32_t n)" in text
+        assert "for (int i = 0; i < 8; i++)" in text
+        assert "return acc;" in text
+
+    def test_if_else_rendering(self):
+        fn = Function(
+            "f",
+            [("a", CInt(32))],
+            CInt(32),
+            [
+                Decl("r", CInt(32), IntConst(0)),
+                If(BinOp(">", Var("a"), IntConst(0)),
+                   [Assign(Var("r"), IntConst(1))],
+                   [Assign(Var("r"), IntConst(2))]),
+                Return(Var("r")),
+            ],
+        )
+        text = function_to_c(fn)
+        assert "if ((a > 0)) {" in text
+        assert "} else {" in text
+
+    def test_program_has_include(self):
+        fn = Function("f", [], CInt(32), [Return(IntConst(0))])
+        assert to_c_source(Program("p", [fn])).startswith("#include <stdint.h>")
+
+    def test_source_compiles_roundtrip_shape(self, loop_program):
+        text = to_c_source(loop_program)
+        # Paranoid brace balance: generated C must be well-formed.
+        assert text.count("{") == text.count("}")

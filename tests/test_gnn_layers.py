@@ -1,0 +1,230 @@
+"""Unit tests for every layer in the 14-model zoo.
+
+Each architecture gets: output-shape check, gradient-flow check,
+determinism check, and behavioural checks specific to its mechanism
+(e.g. GAT attention normalisation, RGCN relation sensitivity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gnn import ALL_MODEL_NAMES, GraphContext, MODEL_SPECS, build_layer, get_spec
+from repro.gnn.gcn import SGCLayer
+from repro.gnn.unet import GraphUNet, TopKPool
+from repro.gnn.virtual_node import VirtualNodeExchange, VirtualNodeState
+from repro.tensor import Tensor
+
+DIM = 8
+RELATIONS = 8  # 4 edge types x 2 directions
+
+
+def make_context(num_nodes=6, seed=0, num_graphs=1):
+    rng = np.random.default_rng(seed)
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    edges += [(0, num_nodes - 1)]
+    edge_index = np.array(edges).T
+    edge_type = rng.integers(0, 4, edge_index.shape[1])
+    if num_graphs == 1:
+        batch = np.zeros(num_nodes, dtype=int)
+    else:
+        batch = np.sort(rng.integers(0, num_graphs, num_nodes))
+    return GraphContext(
+        edge_index=edge_index,
+        edge_type=edge_type,
+        num_nodes=num_nodes,
+        batch=batch,
+        num_graphs=num_graphs,
+        num_edge_types=4,
+    )
+
+
+def layer_names():
+    return [n for n in ALL_MODEL_NAMES if not MODEL_SPECS[n].whole_architecture]
+
+
+class TestRegistry:
+    def test_all_14_entries_present(self):
+        assert len(ALL_MODEL_NAMES) == 14
+
+    def test_paper_rows_match(self):
+        rows = {MODEL_SPECS[n].paper_row for n in ALL_MODEL_NAMES}
+        assert rows == {
+            "GCN", "GCN-V", "SGC", "SAGE", "ARMA", "PAN", "GIN", "GIN-V",
+            "PNA", "GAT", "GGNN", "RGCN", "UNet", "FiLM",
+        }
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("transformer")
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(KeyError):
+            build_layer("unet", DIM, DIM, RELATIONS)  # whole-architecture
+
+
+class TestAllLayers:
+    @pytest.mark.parametrize("name", layer_names())
+    def test_output_shape(self, name, rng):
+        ctx = make_context()
+        layer = build_layer(name, DIM, DIM, RELATIONS, rng)
+        out = layer(Tensor(rng.normal(size=(6, DIM))), ctx)
+        assert out.shape == (6, DIM)
+
+    @pytest.mark.parametrize("name", layer_names())
+    def test_gradients_flow_to_all_used_parameters(self, name, rng):
+        ctx = make_context()
+        layer = build_layer(name, DIM, DIM, RELATIONS, rng)
+        x = Tensor(rng.normal(size=(6, DIM)), requires_grad=True)
+        layer(x, ctx).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+    @pytest.mark.parametrize("name", layer_names())
+    def test_deterministic_given_seed(self, name):
+        ctx = make_context()
+        x = np.random.default_rng(5).normal(size=(6, DIM))
+        outs = []
+        for _ in range(2):
+            layer = build_layer(name, DIM, DIM, RELATIONS, np.random.default_rng(3))
+            outs.append(layer(Tensor(x), ctx).data)
+        np.testing.assert_allclose(outs[0], outs[1])
+
+    @pytest.mark.parametrize("name", layer_names())
+    def test_finite_output_on_large_inputs(self, name, rng):
+        ctx = make_context()
+        layer = build_layer(name, DIM, DIM, RELATIONS, rng)
+        out = layer(Tensor(rng.normal(size=(6, DIM)) * 100.0), ctx)
+        assert np.isfinite(out.data).all()
+
+
+class TestGCNFamily:
+    def test_gcn_norm_coefficients_symmetric(self):
+        ctx = make_context()
+        # gcn norm was built from in/out degrees incl. self loops
+        assert ctx.gcn_norm.shape[0] == len(ctx.gcn_src)
+        assert (ctx.gcn_norm > 0).all()
+
+    def test_sgc_hops_equals_repeated_propagation(self, rng):
+        ctx = make_context()
+        x = Tensor(rng.normal(size=(6, DIM)))
+        sgc = SGCLayer(DIM, DIM, hops=3, rng=np.random.default_rng(0))
+        manual = x
+        for _ in range(3):
+            manual = ctx.propagate_gcn(manual)
+        expected = sgc.linear(manual)
+        np.testing.assert_allclose(sgc(x, ctx).data, expected.data)
+
+    def test_sgc_invalid_hops(self):
+        with pytest.raises(ValueError):
+            SGCLayer(DIM, DIM, hops=0)
+
+
+class TestAttention:
+    def test_gat_out_dim_divisibility_enforced(self):
+        from repro.gnn.gat import GATLayer
+
+        with pytest.raises(ValueError):
+            GATLayer(DIM, 10, heads=4)
+
+    def test_gat_isolated_node_attends_to_itself(self, rng):
+        from repro.gnn.gat import GATLayer
+
+        # Graph with an isolated last node: self-loop keeps it finite.
+        ctx = GraphContext(
+            edge_index=np.array([[0], [1]]),
+            edge_type=np.array([0]),
+            num_nodes=3,
+            batch=np.zeros(3, dtype=int),
+            num_graphs=1,
+            num_edge_types=4,
+        )
+        layer = GATLayer(DIM, DIM, heads=2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, DIM))), ctx)
+        assert np.isfinite(out.data).all()
+
+
+class TestRelationalLayers:
+    def test_rgcn_sensitive_to_edge_types(self, rng):
+        """Same topology, different edge types -> different outputs."""
+        base = make_context(seed=0)
+        other = GraphContext(
+            edge_index=base.edge_index,
+            edge_type=(base.edge_type + 1) % 4,
+            num_nodes=base.num_nodes,
+            batch=base.batch,
+            num_graphs=1,
+            num_edge_types=4,
+        )
+        layer = build_layer("rgcn", DIM, DIM, RELATIONS, np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(6, DIM)))
+        assert not np.allclose(layer(x, base).data, layer(x, other).data)
+
+    def test_rgcn_relation_count_mismatch_rejected(self, rng):
+        layer = build_layer("rgcn", DIM, DIM, 4, rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.normal(size=(6, DIM))), make_context())
+
+    def test_ggnn_requires_square_dims(self):
+        with pytest.raises(ValueError):
+            build_layer("ggnn", DIM, DIM + 1, RELATIONS)
+
+    def test_ggnn_gating_keeps_state_bounded(self, rng):
+        ctx = make_context()
+        layer = build_layer("ggnn", DIM, DIM, RELATIONS, rng)
+        x = Tensor(rng.normal(size=(6, DIM)))
+        out = layer(x, ctx)
+        # GRU output is a convex-ish mix of tanh candidate and state.
+        assert np.abs(out.data).max() <= np.abs(x.data).max() + 1.0
+
+    def test_film_modulation_depends_on_target(self, rng):
+        ctx = make_context()
+        layer = build_layer("film", DIM, DIM, RELATIONS, rng)
+        x1 = rng.normal(size=(6, DIM))
+        x2 = x1.copy()
+        x2[3] += 10.0  # changing a target node changes its FiLM params
+        out1 = layer(Tensor(x1), ctx).data
+        out2 = layer(Tensor(x2), ctx).data
+        assert not np.allclose(out1[3], out2[3])
+
+
+class TestVirtualNode:
+    def test_exchange_broadcasts_graph_context(self, rng):
+        ctx = make_context(num_nodes=6, num_graphs=2, seed=3)
+        exchange = VirtualNodeExchange(DIM, rng=rng)
+        state = VirtualNodeState(2, DIM)
+        x = Tensor(rng.normal(size=(6, DIM)))
+        out, state = exchange(x, state, ctx)
+        assert out.shape == (6, DIM)
+        assert state.embedding.shape == (2, DIM)
+        # nodes of the same graph receive the same additive shift
+        shift = out.data - x.data
+        same_graph = ctx.batch == ctx.batch[0]
+        spread = shift[same_graph] - shift[same_graph][0]
+        np.testing.assert_allclose(spread, 0.0, atol=1e-9)
+
+
+class TestGraphUNet:
+    def test_topk_keeps_at_least_one_node_per_graph(self, rng):
+        ctx = make_context(num_nodes=6, num_graphs=3, seed=1)
+        pool = TopKPool(DIM, ratio=0.3, rng=rng)
+        keep, gate = pool.select(Tensor(rng.normal(size=(6, DIM))), ctx)
+        kept_graphs = set(ctx.batch[keep])
+        assert kept_graphs == set(ctx.batch)
+        assert gate.shape == (len(keep), 1)
+
+    def test_topk_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TopKPool(DIM, ratio=0.0)
+
+    def test_unet_preserves_resolution(self, rng):
+        ctx = make_context(num_nodes=10, seed=2)
+        unet = GraphUNet(DIM, depth=2, rng=rng)
+        out = unet(Tensor(rng.normal(size=(10, DIM))), ctx)
+        assert out.shape == (10, DIM)
+
+    def test_subgraph_renumbers_edges(self):
+        ctx = make_context(num_nodes=6)
+        sub = ctx.subgraph(np.array([0, 2, 3]))
+        assert sub.num_nodes == 3
+        if sub.edge_index.size:
+            assert sub.edge_index.max() < 3

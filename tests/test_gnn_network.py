@@ -1,0 +1,156 @@
+"""Unit tests for model assembly: encoder, heads, pooling, contexts."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    ALL_MODEL_NAMES,
+    GNNEncoder,
+    GraphContext,
+    GraphRegressor,
+    NodeClassifier,
+    get_pooling,
+)
+from repro.graph import Batch, GraphData
+from repro.tensor import Tensor
+
+F = 7
+TYPES = 4
+
+
+def make_graphs(count=3, seed=0):
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for k in range(count):
+        n = int(rng.integers(4, 9))
+        edges = np.array([(i, i + 1) for i in range(n - 1)]).T
+        graphs.append(
+            GraphData(
+                node_features=rng.normal(size=(n, F)),
+                edge_index=edges,
+                edge_type=rng.integers(0, TYPES, edges.shape[1]),
+                edge_back=np.zeros(edges.shape[1], dtype=int),
+                y=rng.uniform(1, 50, 4),
+                node_labels=rng.integers(0, 2, (n, 3)).astype(float),
+            )
+        )
+    return graphs
+
+
+class TestPooling:
+    def test_sum_pool_matches_manual(self, rng):
+        batch = Batch(make_graphs(2))
+        ctx = GraphContext.from_batch(batch, TYPES)
+        x = Tensor(rng.normal(size=(batch.num_nodes, 3)))
+        pooled = get_pooling("sum")(x, ctx).data
+        manual = np.array([
+            x.data[batch.batch == 0].sum(axis=0),
+            x.data[batch.batch == 1].sum(axis=0),
+        ])
+        np.testing.assert_allclose(pooled, manual)
+
+    def test_mean_pool_matches_manual(self, rng):
+        batch = Batch(make_graphs(2))
+        ctx = GraphContext.from_batch(batch, TYPES)
+        x = Tensor(rng.normal(size=(batch.num_nodes, 3)))
+        pooled = get_pooling("mean")(x, ctx).data
+        np.testing.assert_allclose(
+            pooled[0], x.data[batch.batch == 0].mean(axis=0)
+        )
+
+    def test_unknown_pooling_rejected(self):
+        with pytest.raises(KeyError):
+            get_pooling("median")
+
+
+class TestEncoder:
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_every_architecture_produces_embeddings(self, name):
+        graphs = make_graphs(3, seed=1)
+        batch = Batch(graphs)
+        encoder = GNNEncoder(
+            name, in_dim=F, hidden_dim=12, num_layers=2, num_edge_types=TYPES,
+            rng=np.random.default_rng(0),
+        )
+        ctx = encoder.context_for(batch)
+        out = encoder(Tensor(batch.node_features), ctx)
+        assert out.shape == (batch.num_nodes, 12)
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            GNNEncoder("gcn", F, 8, 0, TYPES)
+
+    def test_sgc_collapses_to_single_layer(self):
+        encoder = GNNEncoder("sgc", F, 8, 3, TYPES)
+        assert len(encoder.layers) == 1
+        assert encoder.layers[0].hops == 3
+
+    def test_virtual_node_variants_have_exchanges(self):
+        encoder = GNNEncoder("gin-v", F, 8, 3, TYPES)
+        assert len(encoder.exchanges) == 3
+
+    def test_unet_uses_whole_architecture(self):
+        encoder = GNNEncoder("unet", F, 8, 3, TYPES)
+        assert encoder.unet is not None
+        assert len(encoder.layers) == 0
+
+
+class TestHeads:
+    def test_regressor_shape_and_grads(self):
+        batch = Batch(make_graphs(4, seed=2))
+        model = GraphRegressor(
+            "rgcn", in_dim=F, hidden_dim=12, num_layers=2,
+            num_edge_types=TYPES, out_dim=4, rng=np.random.default_rng(0),
+        )
+        out = model(batch)
+        assert out.shape == (4, 4)
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_regressor_head_is_paper_shape(self):
+        model = GraphRegressor(
+            "gcn", in_dim=F, hidden_dim=300, num_layers=1,
+            num_edge_types=TYPES, out_dim=1,
+        )
+        assert model.head.sizes == (300, 600, 300, 1)
+
+    def test_classifier_shape(self):
+        batch = Batch(make_graphs(2, seed=3))
+        model = NodeClassifier(
+            "sage", in_dim=F, hidden_dim=12, num_layers=2,
+            num_edge_types=TYPES, rng=np.random.default_rng(0),
+        )
+        assert model(batch).shape == (batch.num_nodes, 3)
+
+    def test_batch_equals_individual_forward(self):
+        """Disjoint-union batching must not mix information across graphs."""
+        graphs = make_graphs(2, seed=4)
+        model = GraphRegressor(
+            "gin", in_dim=F, hidden_dim=10, num_layers=2,
+            num_edge_types=TYPES, rng=np.random.default_rng(1),
+        )
+        model.eval()
+        batched = model(Batch(graphs)).data
+        singles = np.concatenate([model(Batch([g])).data for g in graphs])
+        np.testing.assert_allclose(batched, singles, atol=1e-6)
+
+    def test_node_permutation_equivariance_of_pooling(self):
+        """Graph-level output is invariant to node relabelling."""
+        graph = make_graphs(1, seed=5)[0]
+        perm = np.random.default_rng(0).permutation(graph.num_nodes)
+        inverse = np.argsort(perm)
+        permuted = GraphData(
+            node_features=graph.node_features[perm],
+            edge_index=inverse[graph.edge_index],
+            edge_type=graph.edge_type,
+            edge_back=graph.edge_back,
+            y=graph.y,
+        )
+        model = GraphRegressor(
+            "gcn", in_dim=F, hidden_dim=10, num_layers=2,
+            num_edge_types=TYPES, rng=np.random.default_rng(2),
+        )
+        model.eval()
+        a = model(Batch([graph])).data
+        b = model(Batch([permuted])).data
+        np.testing.assert_allclose(a, b, atol=1e-8)

@@ -1,0 +1,177 @@
+"""Unit + property tests for graph containers and batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Batch, GraphData, validate_graph
+from repro.graph.batch import iter_batches
+from repro.graph.validation import GraphValidationError
+
+
+def make_graph(n_nodes=4, n_edges=3, feature_dim=5, seed=0, with_labels=True):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n_nodes, size=(2, n_edges))
+    return GraphData(
+        node_features=rng.normal(size=(n_nodes, feature_dim)),
+        edge_index=edges,
+        edge_type=rng.integers(0, 4, n_edges),
+        edge_back=np.zeros(n_edges, dtype=int),
+        y=rng.uniform(1, 10, 4) if with_labels else None,
+        node_labels=rng.integers(0, 2, (n_nodes, 3)).astype(float)
+        if with_labels
+        else None,
+        node_resources=rng.uniform(0, 5, (n_nodes, 3)) if with_labels else None,
+        meta={"kind": "dfg", "name": f"g{seed}"},
+    )
+
+
+class TestGraphData:
+    def test_shapes_normalised(self):
+        g = make_graph()
+        assert g.edge_index.shape == (2, 3)
+        assert g.edge_type.shape == (3,)
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_with_features_preserves_topology(self):
+        g = make_graph()
+        g2 = g.with_features(np.zeros((4, 9)))
+        assert g2.feature_dim == 9
+        np.testing.assert_array_equal(g2.edge_index, g.edge_index)
+        assert g2.meta == g.meta
+        assert g2.meta is not g.meta  # copied, not shared
+
+    def test_repr_contains_counts(self):
+        assert "nodes=4" in repr(make_graph())
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        validate_graph(make_graph())
+
+    def test_empty_graph_rejected(self):
+        g = make_graph()
+        g.node_features = np.zeros((0, 5))
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_edge_out_of_range_rejected(self):
+        g = make_graph()
+        g.edge_index = np.array([[0], [99]])
+        g.edge_type = np.array([0])
+        g.edge_back = np.array([0])
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_nonfinite_features_rejected(self):
+        g = make_graph()
+        g.node_features[0, 0] = np.nan
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_bad_edge_back_rejected(self):
+        g = make_graph()
+        g.edge_back = g.edge_back + 2
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_bad_target_shape_rejected(self):
+        g = make_graph()
+        g.y = np.array([1.0, 2.0])
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_nonbinary_node_labels_rejected(self):
+        g = make_graph()
+        g.node_labels = g.node_labels + 0.5
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+
+class TestBatch:
+    def test_offsets_applied(self):
+        a = make_graph(n_nodes=3, seed=1)
+        b = make_graph(n_nodes=5, seed=2)
+        batch = Batch([a, b])
+        assert batch.num_nodes == 8
+        assert batch.edge_index[:, a.num_edges :].min() >= 3
+
+    def test_batch_vector(self):
+        a = make_graph(n_nodes=2, seed=1)
+        b = make_graph(n_nodes=3, seed=2)
+        batch = Batch([a, b])
+        np.testing.assert_array_equal(batch.batch, [0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(batch.ptr, [0, 2, 5])
+
+    def test_targets_stacked(self):
+        batch = Batch([make_graph(seed=1), make_graph(seed=2)])
+        assert batch.y.shape == (2, 4)
+        assert batch.node_labels.shape == (8, 3)
+        assert batch.node_resources.shape == (8, 3)
+
+    def test_missing_targets_give_none(self):
+        batch = Batch([make_graph(with_labels=False)])
+        assert batch.y is None
+        assert batch.node_labels is None
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch([])
+
+    def test_mixed_feature_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Batch([make_graph(feature_dim=5), make_graph(feature_dim=6)])
+
+    def test_single_graph_batch(self):
+        g = make_graph()
+        batch = Batch([g])
+        np.testing.assert_array_equal(batch.edge_index, g.edge_index)
+
+
+class TestIterBatches:
+    def test_covers_all_graphs(self):
+        graphs = [make_graph(seed=i) for i in range(7)]
+        batches = list(iter_batches(graphs, batch_size=3))
+        assert sum(b.num_graphs for b in batches) == 7
+        assert len(batches) == 3
+
+    def test_shuffle_changes_order(self):
+        graphs = [make_graph(seed=i) for i in range(20)]
+        fixed = [b.graphs[0].meta["name"] for b in iter_batches(graphs, 1)]
+        shuffled = [
+            b.graphs[0].meta["name"]
+            for b in iter_batches(graphs, 1, rng=np.random.default_rng(3))
+        ]
+        assert fixed != shuffled
+        assert sorted(fixed) == sorted(shuffled)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches([make_graph()], 0))
+
+
+class TestBatchProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=1, max_size=5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_preserves_node_and_edge_counts(self, sizes, seed):
+        graphs = [
+            make_graph(n_nodes=n, n_edges=n, seed=seed + i)
+            for i, n in enumerate(sizes)
+        ]
+        batch = Batch(graphs)
+        assert batch.num_nodes == sum(g.num_nodes for g in graphs)
+        assert batch.num_edges == sum(g.num_edges for g in graphs)
+        # Every edge stays within its graph's node range.
+        for k, graph in enumerate(graphs):
+            lo, hi = batch.ptr[k], batch.ptr[k + 1]
+            mask = slice(
+                sum(g.num_edges for g in graphs[:k]),
+                sum(g.num_edges for g in graphs[: k + 1]),
+            )
+            segment = batch.edge_index[:, mask]
+            assert (segment >= lo).all() and (segment < hi).all()

@@ -1,0 +1,115 @@
+"""Unit tests for binding and functional-unit sharing."""
+
+import pytest
+
+from repro.frontend import BinOp, Decl, Function, IntConst, Program, Return, Var, lower_program
+from repro.hls import bind_function, characterize, schedule_function
+from repro.hls.binding import SHAREABLE_FAMILIES, FunctionalUnit
+from repro.ir import Opcode
+from repro.typesys import CInt
+
+I32 = CInt(32)
+
+
+def make_mul_chain(n):
+    """n dependent multiplies — different cycles, so fully shareable."""
+    body = [Decl("m0", I32, BinOp("*", Var("a"), Var("b")))]
+    for k in range(1, n):
+        body.append(Decl(f"m{k}", I32, BinOp("*", Var(f"m{k-1}"), Var("b"))))
+    body.append(Return(Var(f"m{n-1}")))
+    return lower_program(
+        Program("chain", [Function("chain", [("a", I32), ("b", I32)], I32, body)])
+    )
+
+
+def make_mul_parallel(n):
+    """n independent multiplies — same cycle, so not shareable."""
+    body = [Decl(f"m{k}", I32, BinOp("*", Var("a"), Var("b"))) for k in range(n)]
+    ret = Var("m0")
+    for k in range(1, n):
+        ret = BinOp("^", ret, Var(f"m{k}"))
+    body.append(Return(ret))
+    return lower_program(
+        Program("par", [Function("par", [("a", I32), ("b", I32)], I32, body)])
+    )
+
+
+class TestSharing:
+    def test_dependent_multiplies_share_one_unit(self):
+        fn = make_mul_chain(4)
+        binding = bind_function(fn, schedule_function(fn))
+        mul_units = [u for u in binding.units if u.family == "mul"]
+        assert len(mul_units) == 1
+        assert mul_units[0].num_sharers == 4
+
+    def test_parallel_multiplies_get_separate_units(self):
+        fn = make_mul_parallel(3)
+        binding = bind_function(fn, schedule_function(fn))
+        mul_units = [u for u in binding.units if u.family == "mul"]
+        assert len(mul_units) == 3
+
+    def test_sharing_reduces_dsp_total(self):
+        chain = make_mul_chain(4)
+        chain_binding = bind_function(chain, schedule_function(chain))
+        naive_dsp = sum(
+            characterize(i).dsp for i in chain.instructions()
+        )
+        assert chain_binding.datapath_dsp < naive_dsp
+
+    def test_shared_unit_has_mux_overhead(self):
+        fn = make_mul_chain(3)
+        binding = bind_function(fn, schedule_function(fn))
+        unit = [u for u in binding.units if u.family == "mul"][0]
+        assert unit.mux_lut > 0
+
+    def test_unshared_unit_has_no_mux(self):
+        unit = FunctionalUnit("mul", 32, characterize_dummy(), members=[1])
+        assert unit.mux_lut == 0
+
+    def test_cheap_ops_not_shared(self):
+        fn = make_mul_chain(3)
+        binding = bind_function(fn, schedule_function(fn))
+        add_units = [u for u in binding.units if u.family == "addsub"]
+        for unit in add_units:
+            assert unit.num_sharers == 1
+
+    def test_shareable_families_constant(self):
+        assert "mul" in SHAREABLE_FAMILIES
+        assert "div" in SHAREABLE_FAMILIES
+        assert "logic" not in SHAREABLE_FAMILIES
+
+
+def characterize_dummy():
+    from repro.hls.resource_library import OpCharacter
+
+    return OpCharacter(dsp=4, lut=8, ff=0, delay_ns=2.0, latency=1)
+
+
+class TestAttribution:
+    def test_every_instruction_attributed(self):
+        fn = make_mul_chain(3)
+        binding = bind_function(fn, schedule_function(fn))
+        for inst in fn.instructions():
+            assert inst.id in binding.node_resources
+
+    def test_shared_attribution_sums_to_unit_cost(self):
+        fn = make_mul_chain(4)
+        binding = bind_function(fn, schedule_function(fn))
+        unit = [u for u in binding.units if u.family == "mul"][0]
+        total_dsp = sum(
+            binding.node_resources[m][0] for m in unit.members
+        )
+        assert abs(total_dsp - unit.character.dsp) < 1e-9
+
+    def test_control_instructions_zero_attribution(self):
+        fn = make_mul_chain(2)
+        binding = bind_function(fn, schedule_function(fn))
+        for inst in fn.instructions():
+            if inst.opcode in (Opcode.BR, Opcode.RET):
+                assert binding.node_resources[inst.id] == (0.0, 0.0, 0.0)
+
+    def test_datapath_totals_consistent(self):
+        fn = make_mul_parallel(3)
+        binding = bind_function(fn, schedule_function(fn))
+        assert binding.datapath_dsp == sum(u.character.dsp for u in binding.units)
+        assert binding.datapath_lut >= sum(u.character.lut for u in binding.units)

@@ -1,0 +1,140 @@
+"""Unit tests for the implementation model, synthesis report and flow."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import lower_program
+from repro.hls import fsm_cost, run_hls, schedule_function
+from repro.hls.implementation import pipeline_registers, structural_seed
+from repro.ir import Opcode
+from repro.ldrgen import GeneratorConfig, generate_program
+from tests.conftest import make_loop_program, make_straightline_program
+
+
+@pytest.fixture(scope="module")
+def loop_result():
+    return run_hls(lower_program(make_loop_program()))
+
+
+@pytest.fixture(scope="module")
+def straight_result():
+    return run_hls(lower_program(make_straightline_program()))
+
+
+class TestImplementationMetrics:
+    def test_metrics_positive_and_finite(self, loop_result):
+        impl = loop_result.impl
+        for value in (impl.dsp, impl.lut, impl.ff, impl.cp_ns):
+            assert np.isfinite(value)
+            assert value >= 0
+
+    def test_cp_within_plausible_band(self, loop_result):
+        assert 1.0 <= loop_result.impl.cp_ns <= 12.0 + 1e-6
+
+    def test_deterministic_labels(self):
+        a = run_hls(lower_program(make_loop_program())).impl
+        b = run_hls(lower_program(make_loop_program())).impl
+        assert a == b
+
+    def test_structural_seed_stable_and_distinct(self):
+        fn_a = lower_program(make_loop_program())
+        fn_b = lower_program(make_straightline_program())
+        assert structural_seed(fn_a) == structural_seed(fn_a)
+        assert structural_seed(fn_a) != structural_seed(fn_b)
+
+    def test_pipeline_registers_cover_cross_block_values(self, loop_result):
+        fn = loop_result.function
+        regs = pipeline_registers(fn, loop_result.schedule)
+        assert regs  # loop-carried values must be registered
+        for inst_id, bits in regs.items():
+            assert bits > 0
+
+
+class TestSynthesisReportBias:
+    def test_lut_overestimated(self, loop_result):
+        assert loop_result.report.lut > loop_result.impl.lut
+
+    def test_ff_overestimated(self, loop_result):
+        assert loop_result.report.ff > loop_result.impl.ff
+
+    def test_dsp_estimate_reasonable(self, straight_result):
+        impl, report = straight_result.impl, straight_result.report
+        assert report.dsp >= impl.dsp
+        assert report.dsp <= 2 * impl.dsp + 2
+
+    def test_report_deterministic(self):
+        a = run_hls(lower_program(make_loop_program())).report
+        b = run_hls(lower_program(make_loop_program())).report
+        assert a == b
+
+    def test_memory_rich_programs_blow_up_lut_estimate(self):
+        """The report's per-array adapters make its LUT error explode on
+        memory/control-rich programs — the paper's Table 5 behaviour."""
+        loop = run_hls(lower_program(make_loop_program()))
+        straight = run_hls(lower_program(make_straightline_program()))
+        loop_ratio = loop.report.lut / loop.impl.lut
+        straight_ratio = straight.report.lut / straight.impl.lut
+        assert loop_ratio > straight_ratio
+
+
+class TestFSM:
+    def test_states_grow_with_blocks(self):
+        loop_fn = lower_program(make_loop_program())
+        straight_fn = lower_program(make_straightline_program())
+        loop_states = fsm_cost(loop_fn, schedule_function(loop_fn)).states
+        straight_states = fsm_cost(
+            straight_fn, schedule_function(straight_fn)
+        ).states
+        assert loop_states > straight_states
+
+    def test_fsm_cost_positive(self):
+        fn = lower_program(make_loop_program())
+        cost = fsm_cost(fn, schedule_function(fn))
+        assert cost.lut > 0 and cost.ff >= 1
+        assert cost.transitions >= len(fn.blocks) - 1
+
+
+class TestNodeLevelOutputs:
+    def test_every_instruction_has_type_and_value(self, loop_result):
+        ids = {i.id for i in loop_result.function.instructions()}
+        assert set(loop_result.node_types) == ids
+        assert set(loop_result.node_resources) == ids
+
+    def test_types_consistent_with_values(self, loop_result):
+        for inst_id, (dsp, lut, ff) in loop_result.node_resources.items():
+            t_dsp, t_lut, t_ff = loop_result.node_types[inst_id]
+            assert t_dsp == int(dsp > 0.01)
+            assert t_lut == int(lut > 0.5)
+            assert t_ff == int(ff > 0.5)
+
+    def test_control_nodes_are_empty(self, loop_result):
+        for inst in loop_result.function.instructions():
+            if inst.opcode in (Opcode.BR, Opcode.RET):
+                assert loop_result.node_types[inst.id] == (0, 0, 0)
+
+    def test_multiple_resource_types_exist(self, loop_result):
+        """Some node must use more than one resource type (paper: 'a sdiv
+        node may use both DSP and LUT')."""
+        kinds = set(loop_result.node_types.values())
+        assert any(sum(k) >= 2 for k in kinds)
+
+
+class TestAcrossPrograms:
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_generated_programs_flow_cleanly(self, seed):
+        program = generate_program(GeneratorConfig(mode="cdfg", max_loops=2), seed)
+        result = run_hls(lower_program(program))
+        assert result.impl.lut > 0
+        assert result.impl.ff > 0
+        assert 1.0 <= result.impl.cp_ns <= 12.1
+
+    def test_bigger_program_uses_more_resources(self):
+        small = generate_program(
+            GeneratorConfig(mode="dfg", min_statements=2, max_statements=3), 1
+        )
+        big = generate_program(
+            GeneratorConfig(mode="dfg", min_statements=18, max_statements=20), 1
+        )
+        small_lut = run_hls(lower_program(small)).impl.lut
+        big_lut = run_hls(lower_program(big)).impl.lut
+        assert big_lut > small_lut

@@ -1,0 +1,106 @@
+"""Unit tests for the resource characterisation library."""
+
+import pytest
+
+from repro.hls import characterize, fu_family, width_bucket
+from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
+from repro.ir import Opcode
+from repro.ir.values import Constant, Instruction
+from repro.typesys import CInt
+
+
+def inst(opcode, width=32, operands=None):
+    return Instruction(opcode, operands or [], CInt(width))
+
+
+class TestCharacterisation:
+    def test_wide_multiply_uses_dsp(self):
+        c = characterize(inst(Opcode.MUL, 32))
+        assert c.dsp >= 2
+        assert c.latency >= 1
+
+    def test_narrow_multiply_is_lut_only(self):
+        c = characterize(inst(Opcode.MUL, 8))
+        assert c.dsp == 0
+        assert c.lut > 0
+
+    def test_dsp_count_scales_with_width(self):
+        narrow = characterize(inst(Opcode.MUL, 16)).dsp
+        wide = characterize(inst(Opcode.MUL, 64)).dsp
+        assert wide > narrow
+
+    def test_divider_is_multicycle_and_register_heavy(self):
+        c = characterize(inst(Opcode.SDIV, 32))
+        assert c.latency >= 2
+        assert c.ff > 0
+        assert c.lut > characterize(inst(Opcode.ADD, 32)).lut
+
+    def test_adder_lut_scales_linearly(self):
+        assert characterize(inst(Opcode.ADD, 64)).lut == 2 * characterize(
+            inst(Opcode.ADD, 32)
+        ).lut
+
+    def test_bitwise_cheaper_than_add(self):
+        assert (
+            characterize(inst(Opcode.XOR, 32)).lut
+            < characterize(inst(Opcode.ADD, 32)).lut
+        )
+
+    def test_constant_shift_is_free(self):
+        shift = inst(Opcode.SHL, 32, [inst(Opcode.ADD, 32), Constant(3, CInt(32))])
+        c = characterize(shift)
+        assert c.lut == 0 and c.delay_ns == 0.0
+
+    def test_variable_shift_costs_barrel_shifter(self):
+        shift = inst(Opcode.SHL, 32, [inst(Opcode.ADD, 32), inst(Opcode.ADD, 32)])
+        assert characterize(shift).lut > 0
+
+    def test_phi_uses_ff(self):
+        phi = inst(Opcode.PHI, 32, [Constant(0, CInt(32)), Constant(1, CInt(32))])
+        c = characterize(phi)
+        assert c.ff == 32
+        assert c.lut > 0  # input mux
+
+    def test_load_is_registered(self):
+        c = characterize(inst(Opcode.LOAD, 16))
+        assert c.latency == 2
+        assert c.ff == 16
+
+    def test_casts_are_free(self):
+        for op in (Opcode.TRUNC, Opcode.ZEXT, Opcode.SEXT):
+            c = characterize(inst(op))
+            assert c.lut == c.ff == c.dsp == 0
+
+    def test_control_opcodes_have_no_datapath_cost(self):
+        for op in (Opcode.BR, Opcode.RET, Opcode.CONST, Opcode.PORT, Opcode.BLOCK):
+            c = characterize(inst(op))
+            assert c.lut == c.ff == c.dsp == 0
+
+    def test_all_characters_nonnegative(self):
+        for op in Opcode:
+            c = characterize(inst(op, 64))
+            assert c.dsp >= 0 and c.lut >= 0 and c.ff >= 0
+            assert c.delay_ns >= 0 and c.latency >= 0
+
+
+class TestFUClassification:
+    def test_families(self):
+        assert fu_family(Opcode.MUL) == "mul"
+        assert fu_family(Opcode.UDIV) == "div"
+        assert fu_family(Opcode.BR) is None
+
+    def test_width_buckets(self):
+        assert width_bucket(1) == 8
+        assert width_bucket(17) == 32
+        assert width_bucket(33) == 64
+        assert width_bucket(1000) == 256
+
+
+class TestDeviceModel:
+    def test_default_device_sane(self):
+        assert DEFAULT_DEVICE.clock_period_ns > DEFAULT_DEVICE.clock_uncertainty_ns
+        assert DEFAULT_DEVICE.lut_capacity > 0
+
+    def test_custom_device(self):
+        device = DeviceModel(name="big", clock_period_ns=5.0, lut_capacity=10**6)
+        assert device.clock_period_ns == 5.0

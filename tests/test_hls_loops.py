@@ -1,0 +1,148 @@
+"""Unit tests for natural-loop analysis, trip counts and unrolling."""
+
+import pytest
+
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Decl,
+    For,
+    Function,
+    IntConst,
+    Program,
+    Return,
+    Var,
+    lower_program,
+)
+from repro.hls import run_hls
+from repro.hls.loops import (
+    MAX_UNROLL_FACTOR,
+    UNROLL_THRESHOLD,
+    analyze_loops,
+    unroll_factors,
+)
+from repro.typesys import CArray, CInt
+
+I32 = CInt(32)
+
+
+def loop_fn(trip: int, nested_trip: int | None = None):
+    inner = [Assign(Var("s"), BinOp("+", Var("s"), Var("i")))]
+    if nested_trip is not None:
+        inner = [For("j", 0, nested_trip, 1, [
+            Assign(Var("s"), BinOp("+", Var("s"), BinOp("*", Var("i"), Var("j")))),
+        ])]
+    body = [
+        Decl("s", I32, IntConst(0)),
+        For("i", 0, trip, 1, inner),
+        Return(Var("s")),
+    ]
+    return lower_program(Program("l", [Function("l", [("a", I32)], I32, body)]))
+
+
+class TestLoopDiscovery:
+    def test_single_loop_found(self):
+        loops = analyze_loops(loop_fn(8))
+        assert len(loops) == 1
+        assert loops[0].trip_count == 8
+
+    def test_nested_loops_found(self):
+        loops = analyze_loops(loop_fn(4, nested_trip=4))
+        assert len(loops) == 2
+        assert sorted(l.trip_count for l in loops) == [4, 4]
+
+    def test_loop_blocks_include_body_and_latch(self):
+        loops = analyze_loops(loop_fn(8))
+        blocks = loops[0].blocks
+        assert loops[0].header in blocks
+        assert loops[0].latch in blocks
+        assert any("body" in b for b in blocks)
+
+    def test_straightline_has_no_loops(self, straightline_program):
+        assert analyze_loops(lower_program(straightline_program)) == []
+
+    def test_nonconstant_bound_gives_unknown_trip(self):
+        # Loop bound via parameter-dependent comparison is not canonical.
+        from repro.frontend import If
+
+        body = [
+            Decl("s", I32, IntConst(0)),
+            For("i", 0, 100, 1, [
+                Assign(Var("s"), BinOp("+", Var("s"), IntConst(1))),
+            ]),
+            Return(Var("s")),
+        ]
+        fn = lower_program(Program("u", [Function("u", [("a", I32)], I32, body)]))
+        loops = analyze_loops(fn)
+        assert loops[0].trip_count == 100  # still canonical
+        assert not loops[0].unrolled  # > threshold
+
+
+class TestUnrollDecision:
+    def test_small_trip_unrolls(self):
+        assert analyze_loops(loop_fn(UNROLL_THRESHOLD))[0].unrolled
+
+    def test_large_trip_stays_rolled(self):
+        assert not analyze_loops(loop_fn(UNROLL_THRESHOLD * 4))[0].unrolled
+
+    def test_factors_applied_to_loop_blocks(self):
+        factors = unroll_factors(loop_fn(4))
+        assert max(factors.values()) == 4
+        assert factors["entry"] == 1
+
+    def test_nested_factors_multiply_with_cap(self):
+        factors = unroll_factors(loop_fn(8, nested_trip=8))
+        assert max(factors.values()) == min(64, MAX_UNROLL_FACTOR)
+
+    def test_rolled_loop_factors_stay_one(self):
+        factors = unroll_factors(loop_fn(32))
+        assert max(factors.values()) == 1
+
+
+class TestUnrollingAffectsLabels:
+    def test_unrolled_loop_uses_more_resources_than_rolled(self):
+        """Same body, trip 8 (unrolled) vs trip 32 (rolled): the unrolled
+        variant replicates datapath despite the smaller trip count."""
+
+        def kernel(trip):
+            body = [
+                Decl("s", I32, IntConst(0)),
+                For("i", 0, trip, 1, [
+                    Assign(Var("s"), BinOp("+", Var("s"),
+                                           BinOp("*", Var("a"), Var("i")))),
+                ]),
+                Return(Var("s")),
+            ]
+            return lower_program(
+                Program(f"k{trip}", [Function(f"k{trip}", [("a", I32)], I32, body)])
+            )
+
+        unrolled = run_hls(kernel(8)).impl
+        rolled = run_hls(kernel(32)).impl
+        assert unrolled.dsp > rolled.dsp
+        assert unrolled.lut > rolled.lut
+
+    def test_trip_count_invisible_in_graph_features(self):
+        """The graphs of trip-4 and trip-8 variants are isomorphic with
+        identical features — the unrolling effect on labels is exactly
+        the hard-to-learn CDFG variance the paper describes."""
+        import numpy as np
+
+        from repro.dataset import build_graph
+
+        def program(trip):
+            body = [
+                Decl("s", I32, IntConst(0)),
+                For("i", 0, trip, 1, [
+                    Assign(Var("s"), BinOp("+", Var("s"),
+                                           BinOp("*", Var("a"), Var("i")))),
+                ]),
+                Return(Var("s")),
+            ]
+            return Program(f"t{trip}", [Function(f"t{trip}", [("a", I32)], I32, body)])
+
+        a = build_graph(program(4), kind="cdfg")
+        b = build_graph(program(8), kind="cdfg")
+        np.testing.assert_allclose(a.node_features, b.node_features)
+        assert a.y[0] != b.y[0] or a.y[1] != b.y[1]  # labels differ

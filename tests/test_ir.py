@@ -1,0 +1,223 @@
+"""Unit tests for IR structures, CFG queries, verification, IRGraph."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import lower_program
+from repro.ir import (
+    BasicBlock,
+    EdgeType,
+    IRFunction,
+    IRGraph,
+    IRVerificationError,
+    NodeType,
+    Opcode,
+    back_edges,
+    opcode_category,
+    predecessors,
+    reverse_post_order,
+    successors,
+    verify_function,
+)
+from repro.ir.values import Argument, Constant, Instruction
+from repro.typesys import CInt
+
+I32 = CInt(32)
+
+
+def _br(*targets):
+    inst = Instruction(Opcode.BR, [], CInt(1))
+    inst.targets = list(targets)
+    return inst
+
+
+def _ret():
+    return Instruction(Opcode.RET, [Constant(0, I32)], I32)
+
+
+def make_diamond():
+    """entry -> (left | right) -> exit"""
+    fn = IRFunction("diamond", [], I32)
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    exit_ = fn.add_block("exit")
+    cond = entry.append(Instruction(Opcode.ICMP, [Constant(1, I32), Constant(2, I32)], CInt(1)))
+    br = Instruction(Opcode.BR, [cond], CInt(1))
+    br.targets = ["left", "right"]
+    entry.append(br)
+    left.append(_br("exit"))
+    right.append(_br("exit"))
+    exit_.append(_ret())
+    return fn
+
+
+def make_loop():
+    """entry -> head <-> body, head -> exit"""
+    fn = IRFunction("looper", [], I32)
+    entry = fn.add_block("entry")
+    head = fn.add_block("head")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    entry.append(_br("head"))
+    cond = head.append(Instruction(Opcode.ICMP, [Constant(0, I32), Constant(4, I32)], CInt(1)))
+    br = Instruction(Opcode.BR, [cond], CInt(1))
+    br.targets = ["body", "exit"]
+    head.append(br)
+    body.append(_br("head"))
+    exit_.append(_ret())
+    return fn
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(_ret())
+        with pytest.raises(ValueError):
+            block.append(_ret())
+
+    def test_terminator_detection(self):
+        block = BasicBlock("b")
+        assert block.terminator is None
+        block.append(_ret())
+        assert block.terminator.opcode == Opcode.RET
+
+    def test_instruction_block_name_set(self):
+        block = BasicBlock("myblock")
+        inst = block.append(_ret())
+        assert inst.block == "myblock"
+
+
+class TestIRFunction:
+    def test_duplicate_block_rejected(self):
+        fn = IRFunction("f", [], I32)
+        fn.add_block("b")
+        with pytest.raises(ValueError):
+            fn.add_block("b")
+
+    def test_entry_of_empty_function_rejected(self):
+        with pytest.raises(ValueError):
+            IRFunction("f", [], I32).entry
+
+    def test_instruction_iteration_order(self):
+        fn = make_diamond()
+        blocks = [i.block for i in fn.instructions()]
+        assert blocks == sorted(blocks, key=["entry", "left", "right", "exit"].index)
+
+
+class TestCFG:
+    def test_successors_of_diamond(self):
+        succ = successors(make_diamond())
+        assert succ["entry"] == ["left", "right"]
+        assert succ["exit"] == []
+
+    def test_predecessors_of_diamond(self):
+        preds = predecessors(make_diamond())
+        assert sorted(preds["exit"]) == ["left", "right"]
+
+    def test_rpo_starts_at_entry_and_respects_topology(self):
+        order = reverse_post_order(make_diamond())
+        assert order[0] == "entry"
+        assert order.index("exit") > order.index("left")
+        assert order.index("exit") > order.index("right")
+
+    def test_no_back_edges_in_dag(self):
+        assert back_edges(make_diamond()) == set()
+
+    def test_loop_back_edge_found(self):
+        assert back_edges(make_loop()) == {("body", "head")}
+
+
+class TestVerifier:
+    def test_valid_functions_pass(self):
+        verify_function(make_diamond())
+        verify_function(make_loop())
+
+    def test_unterminated_block_rejected(self):
+        fn = IRFunction("f", [], I32)
+        fn.add_block("entry")
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_branch_to_unknown_block_rejected(self):
+        fn = IRFunction("f", [], I32)
+        fn.add_block("entry").append(_br("nowhere"))
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_foreign_argument_rejected(self):
+        fn = IRFunction("f", [], I32)
+        foreign = Argument("ghost", I32)
+        entry = fn.add_block("entry")
+        entry.append(Instruction(Opcode.RET, [foreign], I32))
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch_rejected(self):
+        fn = make_diamond()
+        phi = Instruction(Opcode.PHI, [Constant(0, I32)], I32)
+        phi.incoming_blocks = ["left"]  # misses 'right'
+        fn.block("exit").instructions.insert(0, phi)
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+    def test_phi_after_non_phi_rejected(self):
+        fn = make_diamond()
+        phi = Instruction(Opcode.PHI, [Constant(0, I32), Constant(1, I32)], I32)
+        phi.incoming_blocks = ["left", "right"]
+        exit_ = fn.block("exit")
+        exit_.instructions.insert(1, phi)  # after the ret... before append guard
+        with pytest.raises(IRVerificationError):
+            verify_function(fn)
+
+
+class TestOpcodeTaxonomy:
+    def test_categories_cover_all_opcodes(self):
+        for op in Opcode:
+            assert opcode_category(op) != "misc"
+
+    def test_sample_categories(self):
+        assert opcode_category(Opcode.MUL) == "binary_unary"
+        assert opcode_category(Opcode.XOR) == "bitwise"
+        assert opcode_category(Opcode.LOAD) == "memory"
+        assert opcode_category(Opcode.BR) == "control"
+
+
+class TestIRGraph:
+    def test_add_edge_bounds_checked(self):
+        g = IRGraph("g", "dfg")
+        g.add_node(NodeType.OPERATION, Opcode.ADD, 32)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5, EdgeType.DATA)
+
+    def test_edge_arrays_empty_graph(self):
+        g = IRGraph("g", "dfg")
+        ei, et, eb = g.edge_arrays()
+        assert ei.shape == (2, 0)
+        assert et.shape == (0,)
+
+    def test_cycle_detection(self):
+        g = IRGraph("g", "cdfg")
+        a = g.add_node(NodeType.OPERATION, Opcode.ADD, 32)
+        b = g.add_node(NodeType.OPERATION, Opcode.ADD, 32)
+        g.add_edge(a, b, EdgeType.DATA)
+        assert not g.has_cycle()
+        g.add_edge(b, a, EdgeType.CONTROL)
+        assert g.has_cycle()
+
+    def test_data_predecessor_counts_ignore_control(self):
+        g = IRGraph("g", "cdfg")
+        a = g.add_node(NodeType.OPERATION, Opcode.ADD, 32)
+        b = g.add_node(NodeType.OPERATION, Opcode.ADD, 32)
+        g.add_edge(a, b, EdgeType.CONTROL)
+        assert g.data_predecessor_counts()[b] == 0
+        g.add_edge(a, b, EdgeType.DATA)
+        assert g.data_predecessor_counts()[b] == 1
+
+    def test_networkx_export(self, loop_program):
+        from repro.ir import extract_cdfg
+
+        g = extract_cdfg(lower_program(loop_program))
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == g.num_nodes
+        assert nx_graph.number_of_edges() == g.num_edges

@@ -1,0 +1,258 @@
+"""Unit tests for AST -> SSA IR lowering."""
+
+import pytest
+
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Cond,
+    Decl,
+    For,
+    Function,
+    If,
+    IntConst,
+    LoweringError,
+    Return,
+    UnOp,
+    Var,
+    lower_function,
+    lower_program,
+)
+from repro.frontend.lower import assigned_scalar_names
+from repro.ir import Opcode, verify_function
+from repro.typesys import CArray, CInt
+
+I16, I32 = CInt(16), CInt(32)
+
+
+def lower_body(body, params=(("a", I32), ("b", I32))):
+    return lower_function(Function("t", list(params), I32, body))
+
+
+def opcodes_of(fn):
+    return [i.opcode for i in fn.instructions()]
+
+
+class TestStraightLine:
+    def test_single_block(self, straightline_program):
+        fn = lower_program(straightline_program)
+        assert fn.is_single_block
+        verify_function(fn)
+
+    def test_expected_opcodes(self, straightline_program):
+        ops = opcodes_of(lower_program(straightline_program))
+        assert Opcode.MUL in ops
+        assert Opcode.ADD in ops
+        assert Opcode.XOR in ops
+        assert ops[-1] == Opcode.RET
+
+    def test_missing_return_synthesised(self):
+        fn = lower_body([Decl("x", I32, IntConst(1))])
+        assert fn.entry.terminator.opcode == Opcode.RET
+
+    def test_comparison_produces_i1_icmp(self):
+        fn = lower_body([Return(BinOp("<", Var("a"), Var("b")))])
+        icmps = [i for i in fn.instructions() if i.opcode == Opcode.ICMP]
+        assert len(icmps) == 1
+        assert icmps[0].bitwidth == 1
+
+    def test_width_promotion_inserts_cast(self):
+        fn = lower_body(
+            [Return(BinOp("+", Var("a"), Var("b")))],
+            params=(("a", I16), ("b", I32)),
+        )
+        assert Opcode.SEXT in opcodes_of(fn)
+
+    def test_narrowing_assignment_truncates(self):
+        fn = lower_body([
+            Decl("x", I16, BinOp("*", Var("a"), Var("b"))),
+            Return(Var("x")),
+        ])
+        assert Opcode.TRUNC in opcodes_of(fn)
+
+    def test_unary_ops(self):
+        fn = lower_body([Return(UnOp("-", UnOp("~", Var("a"))))])
+        ops = opcodes_of(fn)
+        assert Opcode.SUB in ops  # -x => 0 - x
+        assert Opcode.XOR in ops  # ~x => x ^ -1
+
+    def test_ternary_lowers_to_select(self):
+        fn = lower_body([
+            Return(Cond(BinOp(">", Var("a"), Var("b")), Var("a"), Var("b"))),
+        ])
+        assert Opcode.SELECT in opcodes_of(fn)
+
+    def test_min_max_abs_intrinsics(self):
+        fn = lower_body([
+            Decl("m", I32, Call("min", (Var("a"), Var("b")))),
+            Decl("M", I32, Call("max", (Var("a"), Var("b")))),
+            Return(Call("abs", (BinOp("-", Var("m"), Var("M")),))),
+        ])
+        ops = opcodes_of(fn)
+        assert ops.count(Opcode.SELECT) == 3
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_body([Return(Call("sqrt", (Var("a"),)))])
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(LoweringError):
+            lower_body([Return(Var("zzz"))])
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(LoweringError):
+            lower_body([Assign(Var("zzz"), IntConst(1))])
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(LoweringError):
+            lower_body(
+                [Return(Var("arr"))], params=(("arr", CArray(I32, 4)),)
+            )
+
+    def test_undefined_array(self):
+        with pytest.raises(LoweringError):
+            lower_body([Return(ArrayRef("none", IntConst(0)))])
+
+    def test_statement_after_return_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_body([Return(Var("a")), Decl("x", I32, IntConst(1))])
+
+    def test_return_inside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_body([For("i", 0, 4, 1, [Return(Var("a"))])])
+
+
+class TestControlFlow:
+    def test_if_creates_phi_for_modified_var(self):
+        fn = lower_body([
+            Decl("x", I32, IntConst(0)),
+            If(BinOp(">", Var("a"), IntConst(0)),
+               [Assign(Var("x"), IntConst(1))],
+               [Assign(Var("x"), IntConst(2))]),
+            Return(Var("x")),
+        ])
+        verify_function(fn)
+        phis = [i for i in fn.instructions() if i.opcode == Opcode.PHI]
+        assert len(phis) == 1
+        assert len(phis[0].operands) == 2
+
+    def test_if_without_else_phi_uses_cond_block(self):
+        fn = lower_body([
+            Decl("x", I32, IntConst(0)),
+            If(BinOp(">", Var("a"), IntConst(0)), [Assign(Var("x"), IntConst(1))]),
+            Return(Var("x")),
+        ])
+        verify_function(fn)
+        phis = [i for i in fn.instructions() if i.opcode == Opcode.PHI]
+        assert len(phis) == 1
+        assert "entry" in phis[0].incoming_blocks
+
+    def test_unmodified_vars_get_no_phi(self):
+        fn = lower_body([
+            Decl("x", I32, IntConst(0)),
+            Decl("y", I32, IntConst(5)),
+            If(BinOp(">", Var("a"), IntConst(0)), [Assign(Var("x"), IntConst(1))]),
+            Return(BinOp("+", Var("x"), Var("y"))),
+        ])
+        phis = [i for i in fn.instructions() if i.opcode == Opcode.PHI]
+        assert len(phis) == 1  # only x
+
+    def test_loop_structure(self):
+        fn = lower_body([
+            Decl("s", I32, IntConst(0)),
+            For("i", 0, 4, 1, [Assign(Var("s"), BinOp("+", Var("s"), Var("i")))]),
+            Return(Var("s")),
+        ])
+        verify_function(fn)
+        names = [b.name for b in fn.blocks]
+        assert any(n.startswith("for.head") for n in names)
+        assert any(n.startswith("for.latch") for n in names)
+        phis = [i for i in fn.instructions() if i.opcode == Opcode.PHI]
+        assert len(phis) == 2  # loop index + carried accumulator
+
+    def test_loop_variable_out_of_scope_after_loop(self):
+        with pytest.raises(LoweringError):
+            lower_body([
+                For("i", 0, 4, 1, []),
+                Return(Var("i")),
+            ])
+
+    def test_loop_variable_shadowing_restored(self):
+        fn = lower_body([
+            Decl("i", I32, IntConst(42)),
+            For("i", 0, 4, 1, []),
+            Return(Var("i")),
+        ])
+        verify_function(fn)
+        # the returned value is the outer i (the constant 42)
+        ret = fn.blocks[-1].terminator
+        assert ret.opcode == Opcode.RET
+
+    def test_nested_loops_verify(self):
+        fn = lower_body([
+            Decl("s", I32, IntConst(0)),
+            For("i", 0, 4, 1, [
+                For("j", 0, 4, 1, [
+                    Assign(Var("s"), BinOp("+", Var("s"), BinOp("*", Var("i"), Var("j")))),
+                ]),
+            ]),
+            Return(Var("s")),
+        ])
+        verify_function(fn)
+        assert len(fn.blocks) == 9  # entry + 2 x (head/body/latch/end)
+
+    def test_if_inside_loop_verifies(self, loop_program):
+        fn = lower_program(loop_program)
+        verify_function(fn)
+        assert not fn.is_single_block
+
+
+class TestMemory:
+    def test_load_has_gep_and_memory_link(self):
+        fn = lower_body(
+            [Return(ArrayRef("arr", IntConst(2)))],
+            params=(("arr", CArray(I16, 8)),),
+        )
+        loads = [i for i in fn.instructions() if i.opcode == Opcode.LOAD]
+        geps = [i for i in fn.instructions() if i.opcode == Opcode.GEP]
+        assert len(loads) == 1 and len(geps) == 1
+        assert loads[0].memory is not None
+        assert loads[0].bitwidth == 16
+
+    def test_store_coerces_value_to_element_width(self):
+        fn = lower_body(
+            [
+                Assign(ArrayRef("arr", IntConst(0)), Var("a")),
+                Return(IntConst(0)),
+            ],
+            params=(("arr", CArray(I16, 8)), ("a", I32)),
+        )
+        assert Opcode.TRUNC in opcodes_of(fn)
+        stores = [i for i in fn.instructions() if i.opcode == Opcode.STORE]
+        assert len(stores) == 1
+
+    def test_local_array_allocates(self):
+        fn = lower_body([
+            Decl("buf", CArray(I32, 4)),
+            Assign(ArrayRef("buf", IntConst(0)), Var("a")),
+            Return(ArrayRef("buf", IntConst(0))),
+        ])
+        assert Opcode.ALLOCA in opcodes_of(fn)
+
+
+class TestAssignedScan:
+    def test_collects_nested_assignments(self):
+        stmts = [
+            Assign(Var("x"), IntConst(1)),
+            If(BinOp(">", Var("x"), IntConst(0)), [Assign(Var("y"), IntConst(2))]),
+            For("i", 0, 2, 1, [Assign(Var("z"), IntConst(3))]),
+        ]
+        assert assigned_scalar_names(stmts) == {"x", "y", "z"}
+
+    def test_array_stores_not_collected(self):
+        stmts = [Assign(ArrayRef("a", IntConst(0)), IntConst(1))]
+        assert assigned_scalar_names(stmts) == set()

@@ -1,0 +1,147 @@
+"""Unit tests for the three prediction approaches."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    HierarchicalPredictor,
+    KnowledgeRichPredictor,
+    OffTheShelfPredictor,
+    PredictorConfig,
+    apply_feature_view,
+)
+from repro.models.base import attach_inferred_types
+from repro.training import TrainConfig
+
+
+def tiny_config(model_name="gcn", seed=0):
+    return PredictorConfig(
+        model_name=model_name,
+        hidden_dim=16,
+        num_layers=2,
+        seed=seed,
+        train=TrainConfig(epochs=6, batch_size=8, lr=3e-3, seed=seed),
+    )
+
+
+class TestFeatureViews:
+    def test_base_view_is_identity(self, dfg_samples):
+        out = apply_feature_view(dfg_samples[:3], "base")
+        assert out[0] is dfg_samples[0]
+
+    def test_rich_view_appends_three_columns(self, dfg_samples):
+        out = apply_feature_view(dfg_samples[:3], "rich")
+        assert out[0].feature_dim == dfg_samples[0].feature_dim + 3
+
+    def test_rich_view_scales_linearly(self, dfg_samples):
+        sample = dfg_samples[0]
+        out = apply_feature_view([sample], "rich")[0]
+        np.testing.assert_allclose(
+            out.node_features[:, -2], sample.node_resources[:, 1] / 64.0
+        )
+
+    def test_infused_view_appends_labels(self, dfg_samples):
+        out = apply_feature_view(dfg_samples[:3], "infused")
+        np.testing.assert_allclose(
+            out[0].node_features[:, -3:], dfg_samples[0].node_labels
+        )
+
+    def test_unknown_view_rejected(self, dfg_samples):
+        with pytest.raises(ValueError):
+            apply_feature_view(dfg_samples[:1], "oracle")
+
+    def test_attach_inferred_types_shape_checked(self, dfg_samples):
+        graphs = dfg_samples[:2]
+        total = sum(g.num_nodes for g in graphs)
+        annotated = attach_inferred_types(graphs, np.zeros((total, 3)))
+        assert annotated[0].feature_dim == graphs[0].feature_dim + 3
+        with pytest.raises(ValueError):
+            attach_inferred_types(graphs, np.zeros((total + 1, 3)))
+
+
+class TestOffTheShelf:
+    def test_fit_predict_evaluate(self, dfg_samples):
+        predictor = OffTheShelfPredictor(tiny_config())
+        predictor.fit(dfg_samples[:16], dfg_samples[16:20])
+        pred = predictor.predict(dfg_samples[20:])
+        assert pred.shape == (4, 4)
+        mape_row = predictor.evaluate(dfg_samples[20:])
+        assert mape_row.shape == (4,)
+        assert np.isfinite(mape_row).all()
+
+    def test_unfitted_predict_rejected(self, dfg_samples):
+        with pytest.raises(RuntimeError):
+            OffTheShelfPredictor(tiny_config()).predict(dfg_samples[:1])
+
+    def test_any_backbone_usable(self, dfg_samples):
+        predictor = OffTheShelfPredictor(tiny_config(model_name="pna"))
+        predictor.fit(dfg_samples[:12], dfg_samples[12:16])
+        assert predictor.predict(dfg_samples[16:18]).shape == (2, 4)
+
+
+class TestKnowledgeRich:
+    def test_fit_predict(self, dfg_samples):
+        predictor = KnowledgeRichPredictor(tiny_config())
+        predictor.fit(dfg_samples[:16], dfg_samples[16:20])
+        assert predictor.predict(dfg_samples[20:]).shape == (4, 4)
+
+    def test_inner_model_sees_extended_features(self, dfg_samples):
+        predictor = KnowledgeRichPredictor(tiny_config())
+        predictor.fit(dfg_samples[:12], dfg_samples[12:16])
+        expected = dfg_samples[0].feature_dim + 3
+        assert predictor._inner.model.encoder.input_proj.in_features == expected
+
+
+class TestHierarchical:
+    def test_fit_returns_both_stage_results(self, dfg_samples):
+        predictor = HierarchicalPredictor(tiny_config())
+        node_result, graph_result = predictor.fit(
+            dfg_samples[:16], dfg_samples[16:20]
+        )
+        assert node_result.best_val_metric > 0.5  # accuracy
+        assert graph_result.best_val_metric < np.inf
+
+    def test_inference_does_not_touch_ground_truth(self, dfg_samples):
+        """Stripping node labels from test graphs must not change the
+        hierarchical prediction — the honest-inference guarantee."""
+        predictor = HierarchicalPredictor(tiny_config())
+        predictor.fit(dfg_samples[:16], dfg_samples[16:20])
+        test = dfg_samples[20:]
+        with_labels = predictor.predict(test)
+        stripped = [g.with_features(g.node_features) for g in test]
+        for g in stripped:
+            g.node_labels = None
+        without_labels = predictor.predict(stripped)
+        np.testing.assert_allclose(with_labels, without_labels)
+
+    def test_infer_types_binary(self, dfg_samples):
+        predictor = HierarchicalPredictor(tiny_config())
+        predictor.fit(dfg_samples[:12], dfg_samples[12:16])
+        types = predictor.infer_types(dfg_samples[16:18])
+        assert set(np.unique(types)) <= {0.0, 1.0}
+
+    def test_node_stage_evaluation(self, dfg_samples):
+        predictor = HierarchicalPredictor(tiny_config())
+        predictor.fit(dfg_samples[:12], dfg_samples[12:16])
+        accs = predictor.evaluate_node_stage(dfg_samples[16:])
+        assert accs.shape == (3,)
+        assert (accs >= 0).all() and (accs <= 1).all()
+
+    def test_unfitted_rejected(self, dfg_samples):
+        with pytest.raises(RuntimeError):
+            HierarchicalPredictor(tiny_config()).predict(dfg_samples[:1])
+        with pytest.raises(RuntimeError):
+            HierarchicalPredictor(tiny_config()).infer_types(dfg_samples[:1])
+
+    def test_different_node_backbone(self, dfg_samples):
+        predictor = HierarchicalPredictor(tiny_config("gin"), node_model_name="sage")
+        predictor.fit(dfg_samples[:12], dfg_samples[12:16])
+        assert predictor.node_model.encoder.spec.name == "sage"
+        assert predictor.graph_model.encoder.spec.name == "gin"
+
+    def test_teacher_forcing_mode_trains(self, dfg_samples):
+        """The paper's literal protocol (ground-truth stage-2 features)
+        remains available behind a flag."""
+        predictor = HierarchicalPredictor(tiny_config(), teacher_forcing=True)
+        predictor.fit(dfg_samples[:12], dfg_samples[12:16])
+        assert predictor.predict(dfg_samples[16:18]).shape == (2, 4)

@@ -1,0 +1,208 @@
+"""Unit tests for the neural-network layer library."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    ELU,
+    Embedding,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.tensor import Tensor
+
+
+class TestModule:
+    def test_parameters_discovered_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = Linear(2, 3)
+                self.extras = ModuleList([Linear(3, 3)])
+                self.scale = Parameter(np.ones(1))
+
+        names = dict(Net().named_parameters())
+        assert "layer.weight" in names
+        assert "layer.bias" in names
+        assert "extras.items.0.weight" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        layer = Linear(4, 5)
+        assert layer.num_parameters() == 4 * 5 + 5
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2)
+        b = Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = Linear(3, 2)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = Linear(3, 2)
+        state = a.state_dict()
+        state["bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 7)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_is_affine(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = Linear(3, 3, rng=np.random.default_rng(7))
+        b = Linear(3, 3, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([1, 2, 2]))
+        assert out.shape == (3, 4)
+
+    def test_same_id_same_vector(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([3, 3]))
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_out_of_range_rejected(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([4]))
+
+    def test_gradient_flows_to_rows(self, rng):
+        emb = Embedding(5, 2, rng=rng)
+        emb(np.array([1, 1])).sum().backward()
+        assert emb.weight.grad is not None
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+class TestActivationModules:
+    @pytest.mark.parametrize("cls", [ReLU, LeakyReLU, ELU, Tanh, Sigmoid])
+    def test_shape_preserved(self, cls, rng):
+        module = cls()
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert module(x).shape == (3, 4)
+
+    def test_relu_clamps(self):
+        np.testing.assert_allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+
+class TestDropoutModule:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_eval_identity(self, rng):
+        d = Dropout(0.9, rng=rng)
+        d.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(d(x).data, 1.0)
+
+
+class TestNormalisation:
+    def test_batchnorm_normalises_training_batch(self, rng):
+        bn = BatchNorm1d(3)
+        x = Tensor(rng.normal(loc=5.0, scale=2.0, size=(64, 3)))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = Tensor(rng.normal(size=(32, 2)))
+        bn(x)
+        bn.eval()
+        out = bn(Tensor(np.zeros((1, 2))))
+        assert np.isfinite(out.data).all()
+
+    def test_batchnorm_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(np.zeros((4, 2))))
+
+    def test_layernorm_normalises_rows(self, rng):
+        ln = LayerNorm(6)
+        out = ln(Tensor(rng.normal(size=(4, 6)) * 3.0 + 1.0))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_layernorm_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 3))))
+
+
+class TestContainersAndMLP:
+    def test_sequential_applies_in_order(self, rng):
+        net = Sequential(Linear(2, 3, rng=rng), ReLU(), Linear(3, 1, rng=rng))
+        assert net(Tensor(np.ones((5, 2)))).shape == (5, 1)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_modulelist_iteration_and_append(self):
+        ml = ModuleList([Linear(2, 2)])
+        ml.append(Linear(2, 2))
+        assert len(ml) == 2
+        assert len(list(iter(ml))) == 2
+
+    def test_mlp_shapes_match_paper_head(self, rng):
+        head = MLP([300, 600, 300, 1], rng=rng)
+        assert head(Tensor(np.ones((2, 300)))).shape == (2, 1)
+
+    def test_mlp_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([5])
+
+    def test_mlp_gradients_reach_all_layers(self, rng):
+        net = MLP([3, 4, 2], rng=rng)
+        net(Tensor(np.ones((2, 3)))).sum().backward()
+        assert all(p.grad is not None for p in net.parameters())

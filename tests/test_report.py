@@ -1,0 +1,81 @@
+"""Unit tests for the EXPERIMENTS.md report writer (no training runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.report import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    write_report,
+)
+from repro.experiments.table3 import TABLE3_MODELS
+from repro.gnn.registry import ALL_MODEL_NAMES
+
+SCALE = ExperimentScale(
+    name="unit", num_dfg=1, num_cdfg=1, hidden_dim=1, num_layers=1,
+    epochs=1, batch_size=1, lr=1e-3, runs=1,
+)
+
+
+def fake_results():
+    row = np.array([0.1, 0.2, 0.3, 0.05])
+    t2 = {m: {"dfg": row, "cdfg": row * 1.5} for m in ALL_MODEL_NAMES}
+    acc = np.array([0.9, 0.8, 0.7])
+    t3 = {m: {"dfg": acc, "cdfg": acc - 0.05, "real": acc - 0.1}
+          for m in TABLE3_MODELS}
+    t4 = {
+        b: {a: {"dfg": row * k, "cdfg": row * (k + 0.2)}
+            for a, k in (("base", 1.0), ("infused", 0.8), ("rich", 0.6))}
+        for b in ("rgcn", "pna")
+    }
+    t5 = {
+        "HLS": np.array([0.2, 5.8, 2.4, 0.3]),
+        "RGCN": row, "RGCN-I": row * 0.8, "RGCN-R": row * 0.6,
+        "PNA": row, "PNA-I": row * 0.8, "PNA-R": row * 0.6,
+    }
+    return t2, t3, t4, t5
+
+
+class TestPaperConstants:
+    def test_table2_covers_zoo(self):
+        assert set(PAPER_TABLE2) == set(ALL_MODEL_NAMES)
+        for rows in PAPER_TABLE2.values():
+            assert set(rows) == {"dfg", "cdfg"}
+            assert all(len(v) == 4 for v in rows.values())
+
+    def test_table3_covers_models(self):
+        assert set(PAPER_TABLE3) == set(TABLE3_MODELS)
+
+    def test_table4_structure(self):
+        for backbone in ("rgcn", "pna"):
+            assert set(PAPER_TABLE4[backbone]) == {"base", "infused", "rich"}
+
+    def test_table5_headline_values(self):
+        assert PAPER_TABLE5["HLS"][1] == 871.56
+        assert PAPER_TABLE5["PNA-R"][3] == 3.97
+
+
+class TestWriteReport:
+    def test_writes_wellformed_markdown(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        write_report(SCALE, *fake_results(), path)
+        text = path.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        for heading in ("Table 2", "Table 3", "Table 4", "Table 5"):
+            assert heading in text
+        # measured (paper) cell format
+        assert "10.00 (16.31)" in text
+        # markdown tables are balanced
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_mentions_shape_conclusions(self, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        write_report(SCALE, *fake_results(), path)
+        text = path.read_text()
+        assert "CDFG harder than DFG" in text
+        assert "HLS report error profile" in text

@@ -1,0 +1,148 @@
+"""Unit tests for functional tensor ops (softmax family, concat, where...)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    concat,
+    dropout,
+    elu,
+    gradcheck,
+    leaky_relu,
+    log_softmax,
+    logsumexp,
+    maximum,
+    minimum,
+    softmax,
+    stack,
+    where,
+)
+
+
+class TestActivations:
+    def test_leaky_relu_values(self):
+        out = leaky_relu(Tensor([-2.0, 3.0]), 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_leaky_relu_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)) + 2.0, requires_grad=True)
+        assert gradcheck(lambda: leaky_relu(x, 0.2), [x])
+
+    def test_elu_values(self):
+        out = elu(Tensor([-1.0, 1.0]))
+        np.testing.assert_allclose(out.data, [np.expm1(-1.0), 1.0])
+
+    def test_elu_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)) - 2.0, requires_grad=True)
+        assert gradcheck(lambda: elu(x, 0.7), [x])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([-1000.0, 1000.0]).sigmoid()
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+
+class TestMinMaxWhere:
+    def test_maximum_values(self):
+        out = maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+
+    def test_maximum_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        assert gradcheck(lambda: maximum(a, b), [a, b])
+
+    def test_minimum_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        assert gradcheck(lambda: minimum(a, b), [a, b])
+
+    def test_where_selects(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_where_gradcheck(self, rng):
+        cond = rng.random(5) > 0.5
+        a = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        assert gradcheck(lambda: where(cond, a, b), [a, b])
+
+
+class TestConcatStack:
+    def test_concat_axis0(self):
+        out = concat([Tensor(np.ones((2, 3))), Tensor(np.zeros((1, 3)))], axis=0)
+        assert out.shape == (3, 3)
+
+    def test_concat_axis1_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        assert gradcheck(lambda: concat([a, b], axis=1) * 2.0, [a, b])
+
+    def test_stack_new_axis(self):
+        out = stack([Tensor(np.ones(3)), Tensor(np.zeros(3))], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_stack_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert gradcheck(lambda: stack([a, b], axis=1).sum(axis=0), [a, b])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(4, 6))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = softmax(Tensor(x), axis=1).data
+        b = softmax(Tensor(x + 100.0), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_softmax_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert gradcheck(lambda: softmax(x, axis=1), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            log_softmax(x, axis=1).data,
+            np.log(softmax(x, axis=1).data),
+            atol=1e-10,
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        assert gradcheck(lambda: log_softmax(x, axis=1), [x])
+
+    def test_logsumexp_matches_scipy_convention(self, rng):
+        x = rng.normal(size=(3, 4))
+        expected = np.log(np.exp(x).sum(axis=1))
+        np.testing.assert_allclose(logsumexp(Tensor(x), axis=1).data, expected)
+
+    def test_logsumexp_large_values_stable(self):
+        out = logsumexp(Tensor([[1000.0, 1000.0]]), axis=1)
+        np.testing.assert_allclose(out.data, [1000.0 + np.log(2.0)])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_zero_probability_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_training_mode_scales_survivors(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = dropout(x, 0.5, training=True, rng=rng)
+        survivors = out.data[out.data > 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0, training=True, rng=rng)

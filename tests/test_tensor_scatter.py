@@ -1,0 +1,196 @@
+"""Unit + property tests for scatter/gather — the message-passing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import (
+    Tensor,
+    gather_rows,
+    gradcheck,
+    scatter_max,
+    scatter_mean,
+    scatter_min,
+    scatter_softmax,
+    scatter_std,
+    scatter_sum,
+    segment_counts,
+)
+
+
+class TestGather:
+    def test_gather_selects_rows(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2))
+        out = gather_rows(x, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[4.0, 5.0], [0.0, 1.0]])
+
+    def test_gather_grad_accumulates_duplicates(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        gather_rows(x, np.array([1, 1, 1])).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_gather_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        idx = np.array([0, 3, 3, 1])
+        assert gradcheck(lambda: gather_rows(x, idx) * 2.0, [x])
+
+
+class TestScatterSum:
+    def test_values(self):
+        src = Tensor(np.array([[1.0], [2.0], [4.0]]))
+        out = scatter_sum(src, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [4.0], [0.0]])
+
+    def test_empty_segment_is_zero(self):
+        src = Tensor(np.ones((2, 2)))
+        out = scatter_sum(src, np.array([0, 0]), 4)
+        np.testing.assert_allclose(out.data[1:], 0.0)
+
+    def test_gradcheck(self, rng):
+        src = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        idx = np.array([0, 1, 1, 2, 0])
+        assert gradcheck(lambda: scatter_sum(src, idx, 3), [src])
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_sum(Tensor(np.ones((2, 1))), np.array([0, 5]), 3)
+
+    def test_index_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_sum(Tensor(np.ones((2, 1))), np.array([0]), 3)
+
+
+class TestScatterMean:
+    def test_values(self):
+        src = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = scatter_mean(src, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [10.0]])
+
+    def test_empty_segment_zero_not_nan(self):
+        out = scatter_mean(Tensor(np.ones((1, 1))), np.array([0]), 3)
+        assert np.isfinite(out.data).all()
+
+    def test_gradcheck(self, rng):
+        src = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+        idx = np.array([0, 0, 0, 1, 2, 2])
+        assert gradcheck(lambda: scatter_mean(src, idx, 4), [src])
+
+
+class TestScatterExtremes:
+    def test_max_values(self):
+        src = Tensor(np.array([[1.0], [5.0], [-2.0]]))
+        out = scatter_max(src, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[5.0], [-2.0]])
+
+    def test_min_values(self):
+        src = Tensor(np.array([[1.0], [5.0], [-2.0]]))
+        out = scatter_min(src, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[1.0], [-2.0]])
+
+    def test_empty_segments_are_zero(self):
+        out = scatter_max(Tensor(np.full((1, 1), 7.0)), np.array([2]), 4)
+        np.testing.assert_allclose(out.data[[0, 1, 3]], 0.0)
+
+    def test_max_gradcheck(self, rng):
+        src = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+        idx = np.array([0, 0, 1, 1, 2, 2])
+        assert gradcheck(lambda: scatter_max(src, idx, 3), [src])
+
+    def test_min_gradcheck(self, rng):
+        src = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([1, 1, 0, 0, 1])
+        assert gradcheck(lambda: scatter_min(src, idx, 2), [src])
+
+    def test_max_tie_gradient_splits(self):
+        src = Tensor(np.array([[3.0], [3.0]]), requires_grad=True)
+        scatter_max(src, np.array([0, 0]), 1).backward(np.ones((1, 1)))
+        np.testing.assert_allclose(src.grad, [[0.5], [0.5]])
+
+
+class TestScatterStdSoftmax:
+    def test_std_of_constant_segment_is_near_zero(self):
+        src = Tensor(np.full((4, 1), 2.5))
+        out = scatter_std(src, np.zeros(4, dtype=int), 1)
+        assert float(out.data.reshape(())) < 1e-2
+
+    def test_std_matches_numpy_population_std(self, rng):
+        values = rng.normal(size=(8, 1))
+        out = scatter_std(Tensor(values), np.zeros(8, dtype=int), 1, eps=0.0)
+        np.testing.assert_allclose(
+            float(out.data.reshape(())), values.std(), atol=1e-8
+        )
+
+    def test_std_gradcheck(self, rng):
+        src = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+        idx = np.array([0, 0, 0, 1, 1, 1])
+        assert gradcheck(lambda: scatter_std(src, idx, 2), [src], atol=1e-3, rtol=1e-3)
+
+    def test_softmax_segments_sum_to_one(self, rng):
+        src = Tensor(rng.normal(size=(6, 1)))
+        idx = np.array([0, 0, 1, 1, 1, 2])
+        out = scatter_softmax(src, idx, 3)
+        sums = scatter_sum(out, idx, 3)
+        np.testing.assert_allclose(sums.data, 1.0, atol=1e-9)
+
+    def test_softmax_gradcheck(self, rng):
+        src = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        idx = np.array([0, 0, 1, 1, 1])
+        assert gradcheck(lambda: scatter_softmax(src, idx, 2), [src])
+
+    def test_softmax_stable_for_large_inputs(self):
+        src = Tensor(np.array([[500.0], [502.0]]))
+        out = scatter_softmax(src, np.array([0, 0]), 1)
+        assert np.isfinite(out.data).all()
+
+
+class TestSegmentCounts:
+    def test_counts(self):
+        counts = segment_counts(np.array([0, 0, 2]), 4)
+        np.testing.assert_allclose(counts, [2, 0, 1, 0])
+
+
+@st.composite
+def _scatter_case(draw):
+    n_src = draw(st.integers(1, 12))
+    dim = draw(st.integers(1, 6))
+    width = draw(st.integers(1, 3))
+    idx = draw(
+        st.lists(st.integers(0, dim - 1), min_size=n_src, max_size=n_src)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False),
+            min_size=n_src * width,
+            max_size=n_src * width,
+        )
+    )
+    src = np.array(values).reshape(n_src, width)
+    return src, np.array(idx), dim
+
+
+class TestScatterProperties:
+    @given(_scatter_case())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_preserves_total_mass(self, case):
+        src, idx, dim = case
+        out = scatter_sum(Tensor(src), idx, dim)
+        np.testing.assert_allclose(out.data.sum(), src.sum(), atol=1e-8)
+
+    @given(_scatter_case())
+    @settings(max_examples=60, deadline=None)
+    def test_max_ge_mean_per_nonempty_segment(self, case):
+        src, idx, dim = case
+        mx = scatter_max(Tensor(src), idx, dim).data
+        mn = scatter_mean(Tensor(src), idx, dim).data
+        nonempty = segment_counts(idx, dim) > 0
+        assert (mx[nonempty] >= mn[nonempty] - 1e-9).all()
+
+    @given(_scatter_case())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, case):
+        src, idx, dim = case
+        perm = np.random.default_rng(0).permutation(len(idx))
+        a = scatter_sum(Tensor(src), idx, dim).data
+        b = scatter_sum(Tensor(src[perm]), idx[perm], dim).data
+        np.testing.assert_allclose(a, b, atol=1e-8)

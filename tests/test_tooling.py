@@ -1,0 +1,96 @@
+"""Unit tests for debugging/reporting tooling: IR printer, HLS reports,
+dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.stats import compute_stats, render_stats
+from repro.frontend import lower_program
+from repro.hls import run_hls
+from repro.hls.debug import binding_report, full_report, resource_breakdown, schedule_report
+from repro.ir.printer import function_to_text, instruction_to_text
+from tests.conftest import make_loop_program, make_straightline_program
+
+
+class TestIRPrinter:
+    def test_straightline_dump(self):
+        text = function_to_text(lower_program(make_straightline_program()))
+        assert text.startswith("define i32 @straight(")
+        assert "= mul i32" in text
+        assert "ret" in text
+        assert text.rstrip().endswith("}")
+
+    def test_loop_dump_has_phi_and_branches(self):
+        text = function_to_text(lower_program(make_loop_program()))
+        assert "phi i32 [" in text
+        assert "br " in text and "label %for.head" in text
+        assert "; memory %x" in text
+
+    def test_every_instruction_printable(self):
+        fn = lower_program(make_loop_program())
+        for inst in fn.instructions():
+            line = instruction_to_text(inst)
+            assert isinstance(line, str) and line
+
+    def test_block_labels_present(self):
+        fn = lower_program(make_loop_program())
+        text = function_to_text(fn)
+        for block in fn.blocks:
+            assert f"{block.name}:" in text
+
+
+class TestHLSDebugReports:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_hls(lower_program(make_loop_program()))
+
+    def test_schedule_report_lists_all_ops(self, result):
+        text = schedule_report(result)
+        assert "Schedule of loopy" in text
+        assert text.count("\n") >= result.function.num_instructions
+
+    def test_binding_report_shows_units(self, result):
+        text = binding_report(result)
+        assert "Binding of loopy" in text
+        assert "FU0" in text
+
+    def test_resource_breakdown_totals_header(self, result):
+        text = resource_breakdown(result)
+        assert "Datapath attribution" in text
+        assert "load" in text or "phi" in text
+
+    def test_full_report_concatenates(self, result):
+        text = full_report(result)
+        assert "Schedule of" in text
+        assert "Binding of" in text
+        assert "Datapath attribution" in text
+
+
+class TestDatasetStats:
+    def test_stats_shapes(self, dfg_samples):
+        stats = compute_stats(dfg_samples)
+        assert stats.num_graphs == len(dfg_samples)
+        assert stats.num_nodes == sum(s.num_nodes for s in dfg_samples)
+        assert stats.nodes_per_graph[0] <= stats.nodes_per_graph[1]
+        assert stats.nodes_per_graph[1] <= stats.nodes_per_graph[2]
+        assert abs(sum(stats.edge_type_fractions.values()) - 1.0) < 1e-9
+        assert set(stats.label_ranges) == {"DSP", "LUT", "FF", "CP"}
+
+    def test_dfg_has_no_back_edges(self, dfg_samples):
+        assert compute_stats(dfg_samples).back_edge_fraction == 0.0
+
+    def test_cdfg_has_back_edges(self, cdfg_samples):
+        assert compute_stats(cdfg_samples).back_edge_fraction > 0.0
+
+    def test_positive_rates_in_unit_interval(self, dfg_samples):
+        rates = compute_stats(dfg_samples).node_label_positive_rates
+        assert all(0.0 < r < 1.0 for r in rates)
+
+    def test_render(self, dfg_samples):
+        text = render_stats(compute_stats(dfg_samples), title="DFG set")
+        assert "DFG set" in text
+        assert "label LUT min/med/max" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_stats([])
