@@ -1,0 +1,101 @@
+"""Benchmark: serving throughput — single, batched and cache-hit paths.
+
+Unlike the table benches (which regenerate paper artifacts), this one
+measures the serving subsystem itself: per-request latency of the naive
+one-graph-at-a-time path, throughput of the micro-batched
+:class:`~repro.serve.service.PredictionService`, and throughput once the
+fingerprint LRU absorbs repeated DSE-style queries. The shape assertion
+is the ISSUE's acceptance criterion: batching must beat naive, and cache
+hits must beat batching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import throughput_summary
+from repro.dataset import build_synthetic_dataset
+from repro.experiments.common import predictor_config
+from repro.models import OffTheShelfPredictor
+from repro.serve import ModelRegistry, PredictionService, ServiceConfig
+from repro.serve.cli import main as serve_main
+
+
+@pytest.fixture(scope="module")
+def served(scale):
+    """A fitted predictor plus a pool of request graphs (built once)."""
+    samples = build_synthetic_dataset("dfg", max(64, scale.num_dfg // 2), seed=21)
+    config = predictor_config(scale, "rgcn")
+    config.train.epochs = min(config.train.epochs, 10)
+    predictor = OffTheShelfPredictor(config)
+    predictor.fit(samples[:48], samples[48:56])
+    requests = samples[56:] if len(samples) > 56 else samples
+    # Strip labels: serving-time graphs carry features/topology only.
+    return predictor, [g.with_features(g.node_features) for g in requests]
+
+
+@pytest.mark.benchmark(group="serve", min_rounds=1, max_time=1)
+def test_serve_throughput(benchmark, served):
+    predictor, requests = served
+
+    def measure():
+        timings = {}
+        start = time.perf_counter()
+        for graph in requests:
+            predictor.predict([graph])
+        timings["naive"] = time.perf_counter() - start
+
+        service = PredictionService(
+            predictor, ServiceConfig(max_batch_size=64, cache_size=4096)
+        )
+        start = time.perf_counter()
+        service.predict(requests)
+        timings["batched"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        service.predict(requests)
+        timings["cached"] = time.perf_counter() - start
+        return timings, service.stats
+
+    timings, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    summary = throughput_summary(timings, len(requests))
+    summary["stats"] = stats.as_dict()
+    print()
+    print(json.dumps(summary, indent=2))
+    benchmark.extra_info.update(summary)
+
+    # Acceptance: fused batches beat one-graph-at-a-time, and the cache
+    # beats running the model at all.
+    assert timings["batched"] < timings["naive"], summary
+    assert timings["cached"] < timings["batched"], summary
+    assert stats.cache_hits == len(requests)
+
+
+@pytest.mark.benchmark(group="serve", min_rounds=1, max_time=1)
+def test_serve_cli_predict_smoke(benchmark, served, tmp_path, capsys):
+    """Smoke: the CLI ``predict`` verb answers a C-source request in-process."""
+    predictor, _ = served
+    ModelRegistry(tmp_path / "reg").register("bench-rgcn", predictor)
+    source = tmp_path / "kernel.c"
+    source.write_text(
+        "#include <stdint.h>\n"
+        "int32_t top(int32_t a, int32_t b, int32_t c) {\n"
+        "    int32_t t = ((a * b) + c);\n"
+        "    return (t ^ 255);\n"
+        "}\n"
+    )
+    argv = [
+        "predict",
+        "--registry", str(tmp_path / "reg"),
+        "--name", "bench-rgcn",
+        "--source", str(source),
+    ]
+    result = benchmark.pedantic(lambda: serve_main(argv), rounds=1, iterations=1)
+    assert result == 0
+    response = json.loads(capsys.readouterr().out.splitlines()[-1])
+    values = np.array(list(response["prediction"].values()))
+    assert values.shape == (4,) and np.isfinite(values).all()

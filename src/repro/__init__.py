@@ -19,6 +19,27 @@ The package is organised bottom-up:
   knowledge-rich, knowledge-infused hierarchical GNN).
 - :mod:`repro.training` — losses, metrics and the trainer.
 - :mod:`repro.experiments` — one runner per paper table (Tables 2-5).
+- :mod:`repro.serve` — model artifacts, registry and the batched
+  inference service.
+
+Saving and serving predictors
+-----------------------------
+Trained predictors outlive the training process: ``repro.serve`` saves
+any of the three approaches as a versioned artifact (JSON manifest +
+``.npz`` weights), publishes it to a directory-backed model registry,
+and serves predictions — for pre-encoded graphs or raw mini-C source —
+through a micro-batching, fingerprint-cached ``PredictionService``::
+
+    from repro.serve import ModelRegistry, PredictionService
+
+    ModelRegistry("model-registry").register("rgcn-hier", predictor)
+    service = PredictionService.from_registry("model-registry", "rgcn-hier")
+    dsp, lut, ff, cp = service.predict_source(c_source_text)
+
+The same flow is scriptable via ``python -m repro.serve``
+(``save`` / ``list`` / ``predict`` / ``bench``) and
+``python -m repro.experiments publish``; see :mod:`repro.serve` for the
+full tour and ``examples/serve_predictions.py`` for a runnable demo.
 """
 
 from repro.version import __version__

@@ -24,9 +24,27 @@ from repro.ldrgen.generator import ProgramGenerator
 from repro.suites.registry import SUITE_NAMES, suite_programs
 
 
-def _per_node_arrays(
-    graph: IRGraph, hls: HLSResult
-) -> tuple[np.ndarray, np.ndarray]:
+def lower_and_extract(program: Program, kind: str | None = None):
+    """Compile a program and extract its graph: ``(function, graph, kind)``.
+
+    ``kind`` forces "dfg" or "cdfg" extraction; by default single-block
+    functions produce DFGs and everything else CDFGs (as in the paper's
+    benchmark format). Shared by the dataset builders and the serving
+    path so training-time and request-time compilation cannot diverge.
+    """
+    function = lower_program(program)
+    if kind is None:
+        kind = "dfg" if function.is_single_block else "cdfg"
+    if kind == "dfg":
+        graph = extract_dfg(function, name=program.name)
+    elif kind == "cdfg":
+        graph = extract_cdfg(function, name=program.name)
+    else:
+        raise ValueError(f"kind must be 'dfg' or 'cdfg', got {kind!r}")
+    return function, graph, kind
+
+
+def per_node_arrays(graph: IRGraph, hls: HLSResult) -> tuple[np.ndarray, np.ndarray]:
     """Per-graph-node (resource values, resource types); non-instruction
     nodes (ports, constants, blocks) carry zeros (= "empty")."""
     values = np.zeros((graph.num_nodes, 3))
@@ -46,24 +64,11 @@ def build_graph(
     encoder: FeatureEncoder | None = None,
     meta: dict | None = None,
 ) -> GraphData:
-    """Compile, synthesise and encode a single program.
-
-    ``kind`` forces "dfg" or "cdfg" extraction; by default single-block
-    functions produce DFGs and everything else CDFGs (as in the paper's
-    benchmark format).
-    """
+    """Compile, synthesise and encode a single program."""
     encoder = encoder or FeatureEncoder()
-    function = lower_program(program)
-    if kind is None:
-        kind = "dfg" if function.is_single_block else "cdfg"
-    if kind == "dfg":
-        graph = extract_dfg(function, name=program.name)
-    elif kind == "cdfg":
-        graph = extract_cdfg(function, name=program.name)
-    else:
-        raise ValueError(f"kind must be 'dfg' or 'cdfg', got {kind!r}")
+    function, graph, kind = lower_and_extract(program, kind)
     hls = run_hls(function)
-    values, types = _per_node_arrays(graph, hls)
+    values, types = per_node_arrays(graph, hls)
     sample_meta = {"name": program.name, "kind": kind}
     if meta:
         sample_meta.update(meta)

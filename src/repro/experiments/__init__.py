@@ -4,7 +4,9 @@
 - :mod:`repro.experiments.table3` — node-level classification accuracy;
 - :mod:`repro.experiments.table4` — the three approaches on DFG/CDFG;
 - :mod:`repro.experiments.table5` — real-case generalisation vs HLS;
-- :mod:`repro.experiments.ablations` — pooling/depth/width/feature sweeps.
+- :mod:`repro.experiments.ablations` — pooling/depth/width/feature sweeps;
+- :mod:`repro.experiments.publish` — train and push predictors to a
+  :mod:`repro.serve` model registry.
 
 Every runner accepts an :class:`ExperimentScale` preset (``ci`` default)
 and prints its result in the layout of the corresponding paper table.
@@ -22,6 +24,7 @@ from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
 from repro.experiments.ablations import run_ablations
+from repro.experiments.publish import run_publish, train_predictor
 
 __all__ = [
     "ExperimentScale",
@@ -34,4 +37,6 @@ __all__ = [
     "run_table4",
     "run_table5",
     "run_ablations",
+    "run_publish",
+    "train_predictor",
 ]

@@ -6,6 +6,7 @@ Examples::
     python -m repro.experiments table4 --scale small
     python -m repro.experiments table5
     python -m repro.experiments ablations
+    python -m repro.experiments publish --registry model-registry
     python -m repro.experiments all
 """
 
@@ -34,7 +35,11 @@ RUNNERS = {
     "table5": run_table5,
     "ablations": run_ablations,
     "report": _run_report,
+    "publish": None,  # bound to the parsed --registry in main()
 }
+
+#: Verbs with side effects beyond printing — excluded from "all".
+_NOT_IN_ALL = ("report", "publish")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,16 +55,29 @@ def main(argv: list[str] | None = None) -> int:
         help="size preset (default: REPRO_SCALE env var or 'ci')",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--registry",
+        default=None,
+        help="registry root for 'publish' (default: $REPRO_REGISTRY or "
+        "./model-registry)",
+    )
     args = parser.parse_args(argv)
     seed_all(args.seed)
     scale = get_scale(args.scale)
+
+    def _run_publish(scale):
+        from repro.experiments.publish import run_publish
+
+        run_publish(scale, registry_root=args.registry, seed=args.seed)
+
+    runners = {**RUNNERS, "publish": _run_publish}
     print(f"running {args.experiment} at scale '{scale.name}': {scale}")
     if args.experiment == "all":
-        targets = [name for name in RUNNERS if name != "report"]
+        targets = [name for name in runners if name not in _NOT_IN_ALL]
     else:
         targets = [args.experiment]
     for name in targets:
-        RUNNERS[name](scale)
+        runners[name](scale)
     return 0
 
 

@@ -1,0 +1,99 @@
+"""Publish trained predictors to a serve registry.
+
+Bridges the experiment pipeline to :mod:`repro.serve`: train each
+approach at the active scale, evaluate it, and register the fitted model
+(with its test metrics as manifest extras) so
+``python -m repro.serve predict`` can answer requests without retraining.
+
+Run via ``python -m repro.experiments publish [--registry DIR]`` or the
+serve CLI's ``save`` verb (one approach at a time).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentScale,
+    get_scale,
+    load_cdfg_dataset,
+    load_dfg_dataset,
+    predictor_config,
+    split,
+)
+from repro.models.knowledge_infused import HierarchicalPredictor
+from repro.models.knowledge_rich import KnowledgeRichPredictor
+from repro.models.off_the_shelf import OffTheShelfPredictor
+from repro.serve.registry import ModelRecord, ModelRegistry
+
+APPROACHES = ("off_the_shelf", "knowledge_rich", "hierarchical")
+
+_CLASSES = {
+    "off_the_shelf": OffTheShelfPredictor,
+    "knowledge_rich": KnowledgeRichPredictor,
+    "hierarchical": HierarchicalPredictor,
+}
+
+
+def train_predictor(
+    approach: str,
+    scale: ExperimentScale,
+    model_name: str = "rgcn",
+    mode: str = "dfg",
+    seed: int = 0,
+):
+    """Train one approach on the synthetic ``mode`` set.
+
+    Returns ``(fitted predictor, metrics)`` where metrics carries the
+    mean and per-target test MAPE plus provenance — the payload that
+    rides along in the registry manifest.
+    """
+    if approach not in _CLASSES:
+        raise ValueError(f"unknown approach {approach!r}; one of {APPROACHES}")
+    loader = load_dfg_dataset if mode == "dfg" else load_cdfg_dataset
+    train, val, test = split(scale, loader(scale))
+    predictor = _CLASSES[approach](predictor_config(scale, model_name, seed=seed))
+    predictor.fit(train, val)
+    test_mape = predictor.evaluate(test)
+    metrics = {
+        "test_mape_mean": round(float(np.mean(test_mape)), 4),
+        "test_mape": [round(float(v), 4) for v in test_mape],
+        "dataset": f"synthetic-{mode}",
+        "scale": scale.name,
+        "seed": seed,
+    }
+    return predictor, metrics
+
+
+def run_publish(
+    scale: ExperimentScale | None = None,
+    registry_root: str | None = None,
+    approaches: tuple[str, ...] = APPROACHES,
+    model_name: str = "rgcn",
+    mode: str = "dfg",
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[ModelRecord]:
+    """Train and register every approach; returns the new records.
+
+    The registry root defaults to ``$REPRO_REGISTRY`` or
+    ``model-registry`` in the working directory.
+    """
+    scale = scale or get_scale()
+    root = registry_root or os.environ.get("REPRO_REGISTRY", "model-registry")
+    registry = ModelRegistry(root)
+    records = []
+    for approach in approaches:
+        predictor, metrics = train_predictor(
+            approach, scale, model_name=model_name, mode=mode, seed=seed
+        )
+        record = registry.register(f"{model_name}-{approach}", predictor, metrics)
+        records.append(record)
+        if verbose:
+            print(
+                f"[publish] {record.name} v{record.version} "
+                f"(test MAPE {metrics['test_mape_mean']:.4f}) -> {record.path}"
+            )
+    return records

@@ -1,8 +1,9 @@
-"""Mini-C frontend: typed AST, C-source printer and lowering to IR.
+"""Mini-C frontend: typed AST, C-source parser/printer and lowering to IR.
 
 This is the substitute for the Clang/LLVM front-end the paper relies on.
-Programs are built either by :mod:`repro.ldrgen` (synthetic benchmark) or
-by the suite builders in :mod:`repro.suites`, then lowered to
+Programs are built by :mod:`repro.ldrgen` (synthetic benchmark), by the
+suite builders in :mod:`repro.suites`, or parsed from source text with
+:func:`parse_c_source` (the serving path), then lowered to
 :mod:`repro.ir` from which DFGs/CDFGs are extracted.
 """
 
@@ -26,6 +27,7 @@ from repro.frontend.ast_ import (
     Var,
 )
 from repro.frontend.printer import to_c_source
+from repro.frontend.parser import ParseError, parse_c_source
 from repro.frontend.lower import LoweringError, lower_function, lower_program
 from repro.frontend.interp import AstInterpreter, InterpreterError, run_ast
 
@@ -50,6 +52,8 @@ __all__ = [
     "UnOp",
     "Var",
     "to_c_source",
+    "ParseError",
+    "parse_c_source",
     "LoweringError",
     "lower_function",
     "lower_program",

@@ -2,6 +2,6 @@
 
 from repro.graph.data import GraphData
 from repro.graph.batch import Batch
-from repro.graph.validation import validate_graph
+from repro.graph.validation import validate_graph, validate_inference_graph
 
-__all__ = ["GraphData", "Batch", "validate_graph"]
+__all__ = ["GraphData", "Batch", "validate_graph", "validate_inference_graph"]

@@ -8,6 +8,7 @@ labels. Construction from IR happens in :mod:`repro.dataset.features`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -71,6 +72,30 @@ class GraphData:
     @property
     def feature_dim(self) -> int:
         return self.node_features.shape[1]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the model-visible payload.
+
+        Covers features, topology and (when present) per-node resource
+        values — every input some predictor consumes — but not labels or
+        ``meta``, so the same design point always maps to the same key
+        regardless of provenance. ``__post_init__`` normalises dtypes,
+        making the digest stable across processes — it is the cache key
+        of :class:`repro.serve.service.PredictionService`.
+        """
+        digest = hashlib.sha256()
+        arrays = [
+            self.node_features,
+            self.edge_index,
+            self.edge_type,
+            self.edge_back,
+        ]
+        if self.node_resources is not None:
+            arrays.append(self.node_resources)
+        for array in arrays:
+            digest.update(str(array.shape).encode())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
 
     def with_features(self, node_features: np.ndarray) -> "GraphData":
         """Copy of this graph with replaced node features (same topology)."""

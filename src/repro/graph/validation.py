@@ -18,12 +18,18 @@ def validate_graph(graph: GraphData) -> None:
         raise GraphValidationError("graph has no nodes")
     if not np.isfinite(graph.node_features).all():
         raise GraphValidationError("non-finite node features")
+    if graph.edge_index.ndim != 2 or graph.edge_index.shape[0] != 2:
+        raise GraphValidationError(
+            f"edge_index must have shape (2, E), got {graph.edge_index.shape}"
+        )
     if graph.num_edges:
         lo, hi = graph.edge_index.min(), graph.edge_index.max()
         if lo < 0 or hi >= n:
             raise GraphValidationError(
                 f"edge index out of range [0, {n}): min={lo}, max={hi}"
             )
+        if graph.edge_type.size and graph.edge_type.min() < 0:
+            raise GraphValidationError("edge_type ids must be non-negative")
     if graph.edge_type.shape[0] != graph.num_edges:
         raise GraphValidationError("edge_type length mismatch")
     if graph.edge_back.shape[0] != graph.num_edges:
@@ -46,3 +52,30 @@ def validate_graph(graph: GraphData) -> None:
         raise GraphValidationError(
             f"node_resources must be ({n}, 3), got {graph.node_resources.shape}"
         )
+
+
+def validate_inference_graph(
+    graph: GraphData,
+    feature_dim: int | None = None,
+    num_edge_types: int | None = None,
+) -> None:
+    """Validate a graph arriving at the service boundary.
+
+    Runs the full structural checks and additionally pins the graph to the
+    *model's* expectations: ``feature_dim`` must match the network input
+    and every ``edge_type`` id must fall inside the relation table
+    (``[0, num_edge_types)``) — an out-of-range id would silently select
+    the wrong relation partition rather than fail loudly.
+    """
+    validate_graph(graph)
+    if feature_dim is not None and graph.feature_dim != feature_dim:
+        raise GraphValidationError(
+            f"feature dim mismatch: model expects {feature_dim}, "
+            f"graph has {graph.feature_dim}"
+        )
+    if num_edge_types is not None and graph.num_edges:
+        hi = int(graph.edge_type.max())
+        if hi >= num_edge_types:
+            raise GraphValidationError(
+                f"edge_type id {hi} out of range [0, {num_edge_types})"
+            )

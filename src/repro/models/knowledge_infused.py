@@ -43,6 +43,9 @@ class HierarchicalPredictor:
     paper pairs like with like (RGCN-I, PNA-I).
     """
 
+    feature_view = "infused"
+    requires_hls = False
+
     def __init__(
         self,
         config: PredictorConfig | None = None,
@@ -131,3 +134,68 @@ class HierarchicalPredictor:
         if self.node_model is None:
             raise RuntimeError("predictor is not fitted")
         return evaluate_node_classifier(self.node_model, graphs)
+
+    # -- artifact export ------------------------------------------------
+    # The two stages serialise into one flat state dict with "node." /
+    # "graph." prefixes so a single ``.npz`` holds the whole predictor.
+    @property
+    def input_dims(self) -> dict[str, int]:
+        if self.node_model is None or self.graph_model is None:
+            raise RuntimeError("predictor is not fitted")
+        return {
+            "node": self.node_model.encoder.input_proj.in_features,
+            "graph": self.graph_model.encoder.input_proj.in_features,
+        }
+
+    def build(self, input_dims: dict[str, int]) -> "HierarchicalPredictor":
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.node_model = NodeClassifier(
+            self.node_model_name,
+            in_dim=input_dims["node"],
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            num_edge_types=cfg.num_edge_types,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        self.graph_model = GraphRegressor(
+            cfg.model_name,
+            in_dim=input_dims["graph"],
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            num_edge_types=cfg.num_edge_types,
+            out_dim=4,
+            pooling=cfg.pooling,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self.node_model is None or self.graph_model is None:
+            raise RuntimeError("predictor is not fitted")
+        state = {f"node.{k}": v for k, v in self.node_model.state_dict().items()}
+        state.update(
+            {f"graph.{k}": v for k, v in self.graph_model.state_dict().items()}
+        )
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if self.node_model is None or self.graph_model is None:
+            raise RuntimeError("call build() before loading a state dict")
+        node_state = {
+            k[len("node.") :]: v for k, v in state.items() if k.startswith("node.")
+        }
+        graph_state = {
+            k[len("graph.") :]: v for k, v in state.items() if k.startswith("graph.")
+        }
+        if len(node_state) + len(graph_state) != len(state):
+            stray = [
+                k
+                for k in state
+                if not k.startswith("node.") and not k.startswith("graph.")
+            ]
+            raise KeyError(f"unprefixed keys in hierarchical state dict: {stray}")
+        self.node_model.load_state_dict(node_state)
+        self.graph_model.load_state_dict(graph_state)

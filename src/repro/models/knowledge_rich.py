@@ -16,6 +16,9 @@ class KnowledgeRichPredictor:
     training and inference — which is why this approach must wait for the
     HLS tool to run)."""
 
+    feature_view = "rich"
+    requires_hls = True
+
     def __init__(self, config: PredictorConfig | None = None):
         self.config = config or PredictorConfig()
         self._inner = OffTheShelfPredictor(self.config)
@@ -33,3 +36,20 @@ class KnowledgeRichPredictor:
 
     def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
         return self._inner.evaluate(apply_feature_view(graphs, "rich"))
+
+    # -- artifact export ------------------------------------------------
+    # The inner model consumes *rich* features, so the recorded input
+    # width already includes the three appended resource columns.
+    @property
+    def input_dims(self) -> dict[str, int]:
+        return self._inner.input_dims
+
+    def build(self, input_dims: dict[str, int]) -> "KnowledgeRichPredictor":
+        self._inner.build(input_dims)
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._inner.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._inner.load_state_dict(state)

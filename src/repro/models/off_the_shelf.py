@@ -21,6 +21,11 @@ class OffTheShelfPredictor:
     Any of the 14 zoo architectures can back it (``config.model_name``).
     """
 
+    #: Feature view this approach consumes (see ``apply_feature_view``).
+    feature_view = "base"
+    #: Whether request-time encoding needs intermediate HLS results.
+    requires_hls = False
+
     def __init__(self, config: PredictorConfig | None = None):
         self.config = config or PredictorConfig()
         self.model: GraphRegressor | None = None
@@ -56,3 +61,26 @@ class OffTheShelfPredictor:
         if self.model is None:
             raise RuntimeError("predictor is not fitted")
         return evaluate_regressor(self.model, graphs)
+
+    # -- artifact export ------------------------------------------------
+    @property
+    def input_dims(self) -> dict[str, int]:
+        """Network input widths needed to rebuild the model untrained."""
+        if self.model is None:
+            raise RuntimeError("predictor is not fitted")
+        return {"graph": self.model.encoder.input_proj.in_features}
+
+    def build(self, input_dims: dict[str, int]) -> "OffTheShelfPredictor":
+        """Construct the (untrained) network for checkpoint loading."""
+        self.model = self._build(input_dims["graph"])
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self.model is None:
+            raise RuntimeError("predictor is not fitted")
+        return self.model.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if self.model is None:
+            raise RuntimeError("call build() before loading a state dict")
+        self.model.load_state_dict(state)

@@ -81,6 +81,14 @@ class Module:
         return self.train(False)
 
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``name -> array copy`` mapping of every trainable parameter.
+
+        The round-trip contract: for any module ``m``,
+        ``m.load_state_dict(m.state_dict())`` is an exact no-op, and the
+        names are stable across processes (attribute order), so a state
+        dict serialised to ``.npz`` and reloaded restores the module
+        bitwise. :mod:`repro.serve.artifacts` builds on this.
+        """
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
@@ -93,9 +101,10 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            if parameter.data.shape != state[name].shape:
+            value = np.asarray(state[name], dtype=np.float64)
+            if parameter.data.shape != value.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
-                    f"{parameter.data.shape} vs {state[name].shape}"
+                    f"{parameter.data.shape} vs {value.shape}"
                 )
-            parameter.data[...] = state[name]
+            parameter.data[...] = value

@@ -1,0 +1,283 @@
+"""Command-line entry point: ``python -m repro.serve <verb> [...]``.
+
+Verbs::
+
+    save     train a predictor at the current scale and publish it
+    list     show every (name, version) in a registry
+    predict  answer one C-source request, or serve a JSON-lines loop
+    bench    measure single/batched/cached serving throughput
+
+Examples::
+
+    python -m repro.serve save --name rgcn-hier --approach hierarchical
+    python -m repro.serve list
+    python -m repro.serve predict --name rgcn-hier --source kernel.c
+    echo '{"id": 1, "source": "..."}' | python -m repro.serve predict \\
+        --name rgcn-hier --jsonl
+    python -m repro.serve bench --name rgcn-hier --requests 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.dataset.features import TARGET_NAMES
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import PredictionService, ServiceConfig
+
+DEFAULT_REGISTRY = "model-registry"
+
+
+def _prediction_json(values: np.ndarray) -> dict:
+    return {name: round(float(v), 4) for name, v in zip(TARGET_NAMES, values)}
+
+
+def _service(args: argparse.Namespace) -> PredictionService:
+    config = ServiceConfig(
+        max_batch_size=args.batch_size, cache_size=args.cache_size
+    )
+    return PredictionService.from_registry(
+        args.registry, args.name, args.version, config=config
+    )
+
+
+# ---------------------------------------------------------------------------
+# Verbs
+# ---------------------------------------------------------------------------
+def cmd_save(args: argparse.Namespace) -> int:
+    from repro.experiments.common import get_scale
+    from repro.experiments.publish import train_predictor
+
+    scale = get_scale(args.scale)
+    print(
+        f"training {args.approach} ({args.model}) on the synthetic "
+        f"{args.mode} set at scale '{scale.name}'",
+        file=sys.stderr,
+    )
+    predictor, metrics = train_predictor(
+        args.approach, scale, args.model, mode=args.mode, seed=args.seed
+    )
+    record = ModelRegistry(args.registry).register(
+        args.name, predictor, extras=metrics
+    )
+    print(
+        json.dumps(
+            {
+                "name": record.name,
+                "version": record.version,
+                "path": str(record.path),
+                "kind": record.kind,
+                "metrics": record.extras,
+            }
+        )
+    )
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    records = ModelRegistry(args.registry).list_models()
+    if not records:
+        print(f"(no models in {args.registry})")
+        return 0
+    latest = {}
+    for record in records:
+        latest[record.name] = max(latest.get(record.name, 0), record.version)
+    for record in records:
+        tag = "  <- latest" if record.version == latest[record.name] else ""
+        extras = f"  {json.dumps(record.extras)}" if record.extras else ""
+        print(
+            f"{record.name:24s} v{record.version:<3d} {record.kind:14s} "
+            f"{record.model_name:8s}{extras}{tag}"
+        )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    service = _service(args)
+    if args.jsonl:
+        return _jsonl_loop(service, args)
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            source = handle.read()
+    values = service.predict_source(source, kind=args.kind)
+    print(
+        json.dumps(
+            {
+                "model": f"{args.name}@{args.version}",
+                "prediction": _prediction_json(values),
+            }
+        )
+    )
+    return 0
+
+
+def _jsonl_loop(service: PredictionService, args: argparse.Namespace) -> int:
+    """Serve newline-delimited JSON requests from stdin until EOF.
+
+    Each request is ``{"id": ..., "source": "..."}`` or
+    ``{"id": ..., "graph": {...}}`` (see
+    :func:`repro.serve.encoding.graph_from_payload`); each response line
+    echoes the id with a ``prediction`` or an ``error``.
+    """
+    from repro.serve.encoding import encode_source, graph_from_payload
+
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        response: dict = {}
+        try:
+            request = json.loads(line)
+            response["id"] = request.get("id")
+            if "source" in request:
+                graph = encode_source(
+                    request["source"],
+                    kind=request.get("kind"),
+                    with_hls_resources=service.predictor.requires_hls,
+                )
+            elif "graph" in request:
+                graph = graph_from_payload(request["graph"])
+            else:
+                raise ValueError("request needs a 'source' or 'graph' key")
+            hits_before = service.stats.cache_hits
+            values = service.predict_one(graph)
+            response["prediction"] = _prediction_json(values)
+            response["cached"] = service.stats.cache_hits > hits_before
+        except Exception as exc:  # noqa: BLE001 — the loop must not die
+            response["error"] = str(exc)
+        print(json.dumps(response), flush=True)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.ldrgen.config import GeneratorConfig
+    from repro.ldrgen.generator import ProgramGenerator
+    from repro.serve.encoding import encode_program
+
+    service = _service(args)
+    mode = args.mode
+    generator = ProgramGenerator(GeneratorConfig(mode=mode), seed=args.seed)
+    graphs = [
+        encode_program(
+            generator.generate(),
+            kind=mode,
+            with_hls_resources=service.predictor.requires_hls,
+        )
+        for _ in range(args.requests)
+    ]
+
+    start = time.perf_counter()
+    for graph in graphs:
+        service.predictor.predict([graph])
+    naive_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    service.predict(graphs)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    service.predict(graphs)
+    cached_s = time.perf_counter() - start
+
+    n = len(graphs)
+    print(
+        json.dumps(
+            {
+                "requests": n,
+                "batch_size": args.batch_size,
+                "naive_latency_ms": round(1000 * naive_s / n, 3),
+                "naive_rps": round(n / naive_s, 1),
+                "batched_rps": round(n / batched_s, 1),
+                "cached_rps": round(n / cached_s, 1),
+                "batched_speedup": round(naive_s / batched_s, 2),
+                "stats": service.stats.as_dict(),
+            }
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+def _add_registry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry",
+        default=DEFAULT_REGISTRY,
+        help=f"registry root directory (default: ./{DEFAULT_REGISTRY})",
+    )
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    _add_registry_args(parser)
+    parser.add_argument("--name", required=True, help="registered model name")
+    parser.add_argument("--version", default="latest", help="vN or 'latest'")
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--cache-size", type=int, default=1024)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Save, list, query and benchmark prediction services.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    save = sub.add_parser("save", help="train and publish a predictor")
+    _add_registry_args(save)
+    save.add_argument("--name", required=True)
+    save.add_argument(
+        "--approach",
+        default="off_the_shelf",
+        choices=["off_the_shelf", "knowledge_rich", "hierarchical"],
+    )
+    save.add_argument("--model", default="rgcn", help="zoo architecture name")
+    save.add_argument("--mode", default="dfg", choices=["dfg", "cdfg"])
+    save.add_argument("--scale", default=None, choices=["ci", "small", "paper"])
+    save.add_argument("--seed", type=int, default=0)
+    save.set_defaults(func=cmd_save)
+
+    list_ = sub.add_parser("list", help="list registered models")
+    _add_registry_args(list_)
+    list_.set_defaults(func=cmd_list)
+
+    predict = sub.add_parser("predict", help="answer C-source requests")
+    _add_service_args(predict)
+    predict.add_argument(
+        "--source", default="-", help="C source file ('-' = stdin; default)"
+    )
+    predict.add_argument("--kind", default=None, choices=["dfg", "cdfg"])
+    predict.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="serve newline-delimited JSON requests from stdin",
+    )
+    predict.set_defaults(func=cmd_predict)
+
+    bench = sub.add_parser("bench", help="measure serving throughput")
+    _add_service_args(bench)
+    bench.add_argument("--requests", type=int, default=64)
+    bench.add_argument("--mode", default="dfg", choices=["dfg", "cdfg"])
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        # Operational errors (unknown model, bad version, unreadable or
+        # malformed source, invalid graph) are user input problems, not
+        # crashes: RegistryError/ArtifactError/ParseError/
+        # GraphValidationError are all ValueErrors.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,101 @@
+"""Request-time encoding: C source / AST / raw arrays -> GraphData.
+
+The serving path mirrors :mod:`repro.dataset.builder` but *without* the
+labelling steps: no implementation run, no ground-truth targets. For the
+off-the-shelf and hierarchical approaches nothing beyond compilation is
+needed (the paper's "earliest prediction"); the knowledge-rich approach
+additionally runs the intermediate HLS stages to obtain per-node
+resource values — that cost is intrinsic to the approach, not to the
+service.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.builder import lower_and_extract, per_node_arrays
+from repro.dataset.features import FeatureEncoder
+from repro.frontend.ast_ import Program
+from repro.frontend.parser import parse_c_source
+from repro.graph.data import GraphData
+from repro.hls.flow import run_hls
+
+
+def encode_program(
+    program: Program,
+    kind: str | None = None,
+    with_hls_resources: bool = False,
+    encoder: FeatureEncoder | None = None,
+) -> GraphData:
+    """Compile and encode one program for inference (no targets).
+
+    Compilation and extraction go through the dataset builder's
+    :func:`~repro.dataset.builder.lower_and_extract` so request-time
+    graphs match training-time graphs exactly. ``with_hls_resources``
+    additionally runs the simulated HLS flow and attaches raw per-node
+    resource values so the knowledge-rich feature view can be derived at
+    predict time.
+    """
+    encoder = encoder or FeatureEncoder()
+    function, graph, kind = lower_and_extract(program, kind)
+    node_resources = None
+    if with_hls_resources:
+        node_resources = per_node_arrays(graph, run_hls(function))[0]
+    return encoder.encode(
+        graph,
+        node_resources=node_resources,
+        meta={"name": program.name, "kind": kind, "origin": "serve"},
+    )
+
+
+def encode_source(
+    source: str,
+    kind: str | None = None,
+    with_hls_resources: bool = False,
+    name: str | None = None,
+) -> GraphData:
+    """Parse mini-C ``source`` and encode it for inference."""
+    program = parse_c_source(source, name=name)
+    return encode_program(program, kind=kind, with_hls_resources=with_hls_resources)
+
+
+def graph_from_payload(payload: dict) -> GraphData:
+    """Build a :class:`GraphData` from a JSON request payload.
+
+    Expected keys: ``node_features`` ([N, F] floats), ``edge_index``
+    ([2, E] ints), ``edge_type`` ([E] ints), ``edge_back`` ([E] 0/1,
+    optional — defaults to all-normal), ``node_resources`` ([N, 3],
+    optional), ``meta`` (optional dict). Structural validation happens at
+    the service boundary, not here.
+    """
+    try:
+        node_features = np.asarray(payload["node_features"], dtype=np.float64)
+        edge_index = np.asarray(payload["edge_index"], dtype=np.int64)
+    except KeyError as exc:
+        raise ValueError(f"graph payload missing key {exc}") from exc
+    # Checked here because GraphData.__post_init__ reshapes to (2, -1),
+    # which would silently scramble an (E, 2) row-pair layout.
+    if edge_index.size and (edge_index.ndim != 2 or edge_index.shape[0] != 2):
+        raise ValueError(
+            f"edge_index must be [2, E] (sources row, targets row), "
+            f"got shape {tuple(edge_index.shape)}"
+        )
+    edge_type = np.asarray(payload.get("edge_type", []), dtype=np.int64)
+    num_edges = edge_index.shape[1] if edge_index.ndim == 2 else 0
+    if "edge_back" in payload:
+        edge_back = np.asarray(payload["edge_back"], dtype=np.int64)
+    else:
+        edge_back = np.zeros(num_edges, dtype=np.int64)
+    node_resources = payload.get("node_resources")
+    return GraphData(
+        node_features=node_features,
+        edge_index=edge_index,
+        edge_type=edge_type,
+        edge_back=edge_back,
+        node_resources=(
+            np.asarray(node_resources, dtype=np.float64)
+            if node_resources is not None
+            else None
+        ),
+        meta=dict(payload.get("meta", {"origin": "serve"})),
+    )

@@ -1,0 +1,144 @@
+"""Directory-backed model registry with latest-tag semantics.
+
+Layout::
+
+    <root>/
+        <name>/
+            v1/   # artifact directory (manifest.json + weights.npz)
+            v2/
+            ...
+
+Versions are monotonically increasing integers assigned by
+:meth:`ModelRegistry.register`; ``"latest"`` resolves to the highest one.
+Experiments publish here and the prediction service resolves by name, so
+consumers never reference filesystem paths directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve.artifacts import (
+    MANIFEST_NAME,
+    Predictor,
+    load_predictor,
+    read_manifest,
+    save_predictor,
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d+)$")
+
+LATEST = "latest"
+
+
+class RegistryError(ValueError):
+    """Raised on unknown models/versions or malformed registry state."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One published (name, version) with its manifest summary."""
+
+    name: str
+    version: int
+    path: Path
+    kind: str
+    model_name: str
+    extras: dict = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Register, list and resolve predictor artifacts under one root."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- write ---------------------------------------------------------
+    def register(
+        self, name: str, predictor: Predictor, extras: dict | None = None
+    ) -> ModelRecord:
+        """Publish a fitted predictor as the next version of ``name``."""
+        self._check_name(name)
+        version = self.latest_version(name) + 1
+        path = self.root / name / f"v{version}"
+        save_predictor(predictor, path, extras=extras)
+        return self._record(name, version, path)
+
+    # -- read ----------------------------------------------------------
+    def versions(self, name: str) -> list[int]:
+        """Sorted published versions of ``name`` (empty if unknown)."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_RE.match(entry.name)
+            if match and (entry / MANIFEST_NAME).is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        """Highest published version of ``name`` (0 if none)."""
+        versions = self.versions(name)
+        return versions[-1] if versions else 0
+
+    def resolve(self, name: str, version: int | str = LATEST) -> Path:
+        """Path of a model's artifact directory.
+
+        ``version`` is an integer, a ``"vN"`` string, or ``"latest"``.
+        """
+        self._check_name(name)
+        if version == LATEST:
+            number = self.latest_version(name)
+            if number == 0:
+                raise RegistryError(f"no versions of {name!r} in {self.root}")
+        elif isinstance(version, str):
+            match = _VERSION_RE.match(version)
+            if not match:
+                raise RegistryError(f"bad version spec {version!r}")
+            number = int(match.group(1))
+        else:
+            number = int(version)
+        path = self.root / name / f"v{number}"
+        if not (path / MANIFEST_NAME).is_file():
+            raise RegistryError(f"{name!r} v{number} not found in {self.root}")
+        return path
+
+    def load(self, name: str, version: int | str = LATEST) -> Predictor:
+        """Resolve and rebuild a published predictor."""
+        return load_predictor(self.resolve(name, version))
+
+    def list_models(self) -> list[ModelRecord]:
+        """Every (name, version) pair in the registry, sorted."""
+        if not self.root.is_dir():
+            return []
+        records = []
+        for model_dir in sorted(self.root.iterdir()):
+            if not model_dir.is_dir():
+                continue
+            for version in self.versions(model_dir.name):
+                path = model_dir / f"v{version}"
+                records.append(self._record(model_dir.name, version, path))
+        return records
+
+    # -- helpers -------------------------------------------------------
+    def _record(self, name: str, version: int, path: Path) -> ModelRecord:
+        manifest = read_manifest(path)
+        return ModelRecord(
+            name=name,
+            version=version,
+            path=path,
+            kind=manifest["kind"],
+            model_name=manifest["config"]["model_name"],
+            extras=manifest.get("extras", {}),
+        )
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"bad model name {name!r} (allowed: letters, digits, . _ -)"
+            )

@@ -1,0 +1,256 @@
+"""The prediction service: validation, micro-batching and caching.
+
+Requests (graphs, programs or raw C source) are accepted one at a time
+but evaluated in *batches*: ``submit`` queues a request and returns a
+:class:`PendingPrediction`; the queue is flushed through the model as a
+:class:`~repro.graph.batch.Batch` union when it reaches
+``max_batch_size``, when ``flush()`` is called, or lazily when a pending
+result is read. Duplicate requests are coalesced — identical graphs in
+flight share one model evaluation, and completed results live in an LRU
+keyed by :meth:`GraphData.fingerprint`, so the repeated queries of a DSE
+loop hit memory instead of the model.
+
+The service is deliberately synchronous and single-threaded: batching is
+a throughput device (one fused forward pass over many graphs), not a
+concurrency device.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.data import GraphData
+from repro.graph.validation import validate_inference_graph
+from repro.serve.artifacts import Predictor, load_predictor
+from repro.serve.encoding import encode_program, encode_source
+from repro.serve.registry import LATEST, ModelRegistry
+
+
+@dataclass
+class ServiceConfig:
+    """Batching, caching and validation knobs."""
+
+    #: Flush automatically once this many distinct graphs are pending;
+    #: also the chunk size of each model call.
+    max_batch_size: int = 32
+    #: LRU capacity in graphs; 0 disables result caching.
+    cache_size: int = 1024
+    #: Structurally validate every incoming graph (service boundary).
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+
+
+@dataclass
+class ServiceStats:
+    """Counters for observability and the ``bench`` verb."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    evictions: int = 0
+    batches: int = 0
+    model_graphs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Inflight:
+    """One distinct pending graph shared by all its tickets."""
+
+    __slots__ = ("fingerprint", "graph", "value")
+
+    def __init__(self, fingerprint: str, graph: GraphData):
+        self.fingerprint = fingerprint
+        self.graph = graph
+        self.value: np.ndarray | None = None
+
+
+class PendingPrediction:
+    """Handle for a queued request; ``result()`` flushes if needed."""
+
+    def __init__(self, service: "PredictionService", entry: _Inflight):
+        self._service = service
+        self._entry = entry
+
+    @property
+    def done(self) -> bool:
+        return self._entry.value is not None
+
+    def result(self) -> np.ndarray:
+        """The DSP/LUT/FF/CP prediction, forcing a flush if still queued."""
+        if self._entry.value is None:
+            self._service.flush()
+        if self._entry.value is None:
+            # The flush that should have produced this value failed.
+            raise RuntimeError("prediction failed for this request; resubmit")
+        return self._entry.value.copy()
+
+
+class PredictionService:
+    """Serve a fitted predictor with batching, caching and validation."""
+
+    def __init__(self, predictor: Predictor, config: ServiceConfig | None = None):
+        self.predictor = predictor
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._pending: list[_Inflight] = []
+        self._inflight: dict[str, _Inflight] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_artifact(
+        cls, path: str | Path, config: ServiceConfig | None = None
+    ) -> "PredictionService":
+        return cls(load_predictor(path), config=config)
+
+    @classmethod
+    def from_registry(
+        cls,
+        root: str | Path,
+        name: str,
+        version: int | str = LATEST,
+        config: ServiceConfig | None = None,
+    ) -> "PredictionService":
+        return cls(ModelRegistry(root).load(name, version), config=config)
+
+    # -- request intake --------------------------------------------------
+    @property
+    def expected_feature_dim(self) -> int:
+        """Base feature width a request graph must carry.
+
+        Views are derived inside the predictor, so the boundary expects
+        *base* features: the rich view appends 3 resource columns to the
+        recorded model input, the hierarchical graph stage consumes the
+        node stage's width plus 3 inferred bits.
+        """
+        dims = self.predictor.input_dims
+        view = self.predictor.feature_view
+        if view == "rich":
+            return dims["graph"] - 3
+        if view == "infused":
+            return dims["node"]
+        return dims["graph"]
+
+    def _validate(self, graph: GraphData) -> None:
+        validate_inference_graph(
+            graph,
+            feature_dim=self.expected_feature_dim,
+            num_edge_types=self.predictor.config.num_edge_types,
+        )
+        if self.predictor.requires_hls and graph.node_resources is None:
+            raise ValueError(
+                "this predictor consumes intermediate HLS results; encode "
+                "requests with node_resources (see encode_source(..., "
+                "with_hls_resources=True))"
+            )
+
+    def submit(self, graph: GraphData) -> PendingPrediction:
+        """Queue one graph; auto-flushes when the batch fills up."""
+        self.stats.requests += 1
+        if self.config.validate:
+            self._validate(graph)
+        fingerprint = graph.fingerprint()
+        cached = self._cache_get(fingerprint)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            entry = _Inflight(fingerprint, graph)
+            entry.value = cached
+            return PendingPrediction(self, entry)
+        inflight = self._inflight.get(fingerprint)
+        if inflight is not None:
+            self.stats.coalesced += 1
+            return PendingPrediction(self, inflight)
+        self.stats.cache_misses += 1
+        entry = _Inflight(fingerprint, graph)
+        self._pending.append(entry)
+        self._inflight[fingerprint] = entry
+        ticket = PendingPrediction(self, entry)
+        if len(self._pending) >= self.config.max_batch_size:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Evaluate every pending graph; returns how many were run.
+
+        Exception-safe: if a model call fails, every still-unresolved
+        entry is dropped from the in-flight table before re-raising, so
+        later submissions of the same graphs get fresh evaluations
+        instead of coalescing onto dead entries.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        size = self.config.max_batch_size
+        try:
+            for start in range(0, len(pending), size):
+                chunk = pending[start : start + size]
+                predictions = self.predictor.predict([e.graph for e in chunk])
+                self.stats.batches += 1
+                self.stats.model_graphs += len(chunk)
+                for entry, row in zip(chunk, predictions):
+                    entry.value = np.asarray(row, dtype=np.float64)
+                    self._cache_put(entry.fingerprint, entry.value)
+        finally:
+            for entry in pending:
+                self._inflight.pop(entry.fingerprint, None)
+        return len(pending)
+
+    # -- convenience front-ends -------------------------------------------
+    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+        """Batched prediction for a list of graphs: ``[len(graphs), 4]``."""
+        if not graphs:
+            return np.empty((0, 4))
+        tickets = [self.submit(g) for g in graphs]
+        self.flush()
+        return np.stack([t.result() for t in tickets])
+
+    def predict_one(self, graph: GraphData) -> np.ndarray:
+        """Single-request path (flushes immediately)."""
+        return self.submit(graph).result()
+
+    def predict_source(self, source: str, kind: str | None = None) -> np.ndarray:
+        """End-to-end: mini-C source text in, DSP/LUT/FF/CP out."""
+        graph = encode_source(
+            source, kind=kind, with_hls_resources=self.predictor.requires_hls
+        )
+        return self.predict_one(graph)
+
+    def predict_program(self, program, kind: str | None = None) -> np.ndarray:
+        """Like :meth:`predict_source` for an already-built AST."""
+        graph = encode_program(
+            program, kind=kind, with_hls_resources=self.predictor.requires_hls
+        )
+        return self.predict_one(graph)
+
+    # -- cache -----------------------------------------------------------
+    def _cache_get(self, fingerprint: str) -> np.ndarray | None:
+        if self.config.cache_size == 0:
+            return None
+        value = self._cache.get(fingerprint)
+        if value is not None:
+            self._cache.move_to_end(fingerprint)
+        return value
+
+    def _cache_put(self, fingerprint: str, value: np.ndarray) -> None:
+        if self.config.cache_size == 0:
+            return
+        self._cache[fingerprint] = value
+        self._cache.move_to_end(fingerprint)
+        while len(self._cache) > self.config.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

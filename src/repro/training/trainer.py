@@ -40,6 +40,10 @@ class TrainResult:
     best_epoch: int
     best_val_metric: float
     history: list[dict] = field(default_factory=list)
+    #: Best-validation weights — the publishable artifact. Identical to the
+    #: state the trainer restored into the model, so it can be handed to
+    #: :func:`repro.serve.artifacts.save_predictor` / a registry directly.
+    best_state: dict[str, np.ndarray] | None = None
 
 
 def _make_batches(graphs: list[GraphData], batch_size: int, rng: np.random.Generator):
@@ -57,14 +61,19 @@ def _target_matrix(batch: Batch) -> np.ndarray:
 
 
 def predict_regressor(model: GraphRegressor, graphs: list[GraphData], batch_size: int = 64) -> np.ndarray:
-    """Predict raw-scale targets for a list of graphs."""
+    """Predict raw-scale targets for a list of graphs.
+
+    The model's train/eval mode is restored on exit, so eval-mode models
+    (the common case when serving) stay in eval mode.
+    """
+    was_training = model.training
     model.eval()
     outputs = []
     with no_grad():
         for k in range(0, len(graphs), batch_size):
             batch = Batch(graphs[k : k + batch_size])
             outputs.append(np.expm1(model(batch).data))
-    model.train()
+    model.train(was_training)
     return np.concatenate(outputs, axis=0)
 
 
@@ -113,19 +122,25 @@ def train_graph_regressor(
             if config.patience and stall >= config.patience:
                 break
     model.load_state_dict(best[2])
-    return TrainResult(best_epoch=best[0], best_val_metric=best[1], history=history)
+    return TrainResult(
+        best_epoch=best[0],
+        best_val_metric=best[1],
+        history=history,
+        best_state=best[2],
+    )
 
 
 def predict_node_logits(
     model: NodeClassifier, graphs: list[GraphData], batch_size: int = 64
 ) -> np.ndarray:
+    was_training = model.training
     model.eval()
     outputs = []
     with no_grad():
         for k in range(0, len(graphs), batch_size):
             batch = Batch(graphs[k : k + batch_size])
             outputs.append(model(batch).data)
-    model.train()
+    model.train(was_training)
     return np.concatenate(outputs, axis=0)
 
 
@@ -174,4 +189,9 @@ def train_node_classifier(
             if config.patience and stall >= config.patience:
                 break
     model.load_state_dict(best[2])
-    return TrainResult(best_epoch=best[0], best_val_metric=best[1], history=history)
+    return TrainResult(
+        best_epoch=best[0],
+        best_val_metric=best[1],
+        history=history,
+        best_state=best[2],
+    )

@@ -17,6 +17,8 @@ from repro.frontend import (
     Return,
     UnOp,
     Var,
+    ParseError,
+    parse_c_source,
     to_c_source,
 )
 from repro.frontend.printer import expr_to_c, function_to_c
@@ -137,3 +139,104 @@ class TestPrinter:
         text = to_c_source(loop_program)
         # Paranoid brace balance: generated C must be well-formed.
         assert text.count("{") == text.count("}")
+
+
+class TestParser:
+    def test_printed_source_roundtrips_exactly(self, straightline_program, loop_program):
+        for program in (straightline_program, loop_program):
+            source = to_c_source(program)
+            reparsed = parse_c_source(source)
+            assert to_c_source(reparsed) == source
+            assert reparsed.name == program.name
+
+    def test_generated_programs_roundtrip(self):
+        from repro.ldrgen.config import GeneratorConfig
+        from repro.ldrgen.generator import ProgramGenerator
+
+        for mode in ("dfg", "cdfg"):
+            generator = ProgramGenerator(GeneratorConfig(mode=mode), seed=5)
+            for _ in range(10):
+                source = to_c_source(generator.generate())
+                assert to_c_source(parse_c_source(source)) == source
+
+    def test_suite_kernels_roundtrip(self):
+        from repro.suites.registry import SUITE_NAMES, suite_programs
+
+        for suite in SUITE_NAMES:
+            for program in suite_programs(suite):
+                source = to_c_source(program)
+                assert to_c_source(parse_c_source(source)) == source
+
+    def test_handwritten_conveniences(self):
+        program = parse_c_source(
+            """
+            // comment lines and plain int are accepted
+            int top(int16_t a[4]) {
+                int acc = 0; /* block comment */
+                for (int i = 0; i <= 3; i++) {
+                    acc += a[i];
+                }
+                return acc;
+            }
+            """
+        )
+        fn = program.top
+        assert fn.ret_type == CInt(32)
+        loop = fn.body[1]
+        assert isinstance(loop, For)
+        assert (loop.start, loop.bound, loop.step) == (0, 4, 1)
+        assign = loop.body[0]
+        assert isinstance(assign, Assign)
+        assert isinstance(assign.expr, BinOp) and assign.expr.op == "+"
+
+    def test_ap_int_types(self):
+        program = parse_c_source(
+            "ap_int<12> f(ap_uint<3> x) { return x; }"
+        )
+        assert program.top.ret_type == CInt(12)
+        assert program.top.params[0][1] == CInt(3, signed=False)
+
+    def test_negative_literal_disambiguation(self):
+        fn = parse_c_source(
+            "int32_t f(int32_t a) {\n"
+            "    int32_t x = (a + -1);\n"
+            "    int32_t y = (a + (-1));\n"
+            "    return (x + y);\n"
+            "}"
+        ).top
+        assert fn.body[0].init.rhs == IntConst(-1)
+        assert fn.body[1].init.rhs == UnOp("-", IntConst(1))
+
+    def test_parse_errors_have_location(self):
+        with pytest.raises(ParseError, match="line"):
+            parse_c_source("int32_t f( { return 0; }")
+        with pytest.raises(ParseError, match="no functions"):
+            parse_c_source("// nothing here")
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_c_source("int32_t f() { return 0 @ 1; }")
+
+    def test_parsed_program_lowers_and_runs(self):
+        from repro.frontend import lower_program
+
+        program = parse_c_source(
+            "int32_t top(int32_t a, int32_t b) { return a * b + 3; }"
+        )
+        function = lower_program(program)
+        assert function.is_single_block
+
+    def test_call_argument_negative_literal(self):
+        fn = parse_c_source(
+            "int32_t f(int32_t a) { return (a + max(a, -1)); }"
+        ).top
+        call = fn.body[0].expr.rhs
+        assert call.args[1] == IntConst(-1)
+        source = "#include <stdint.h>\n\nint32_t f(int32_t a) {\n    return (a + max(a, -1));\n}\n"
+        assert to_c_source(parse_c_source(source)) == source
+
+    def test_return_grouping_paren_is_unop(self):
+        fn = parse_c_source("int32_t f() { return (-1); }").top
+        assert fn.body[0].expr == UnOp("-", IntConst(1))
+        source = "#include <stdint.h>\n\nint32_t f() {\n    return (-1);\n}\n"
+        assert to_c_source(parse_c_source(source)) == source
+        bare = parse_c_source("int32_t f() { return -1; }").top
+        assert bare.body[0].expr == IntConst(-1)
