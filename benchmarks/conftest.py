@@ -18,15 +18,28 @@ Run one table::
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.experiments.common import get_scale
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
 
 @pytest.fixture(scope="session")
 def scale():
     return get_scale()
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark artifact as ``BENCH_<name>.json`` at the repo
+    root, giving future PRs a perf trajectory to compare against."""
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 def throughput_summary(timings: dict[str, float], requests: int) -> dict:

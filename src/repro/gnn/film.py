@@ -47,9 +47,10 @@ class FiLMLayer(Module):
             src, dst = ctx.relation_edges(relation)
             if len(src) == 0:
                 continue
-            value = gather_rows(self.message_linears[relation](x), src)
-            film = gather_rows(self.film_generators[relation](x), dst)
+            src_plan, dst_plan = ctx.relation_plans(relation)
+            value = gather_rows(self.message_linears[relation](x), src, plan=src_plan)
+            film = gather_rows(self.film_generators[relation](x), dst, plan=dst_plan)
             out = out + scatter_mean(
-                self._modulate(film, value), dst, ctx.num_nodes
+                self._modulate(film, value), dst, ctx.num_nodes, plan=dst_plan
             )
         return out

@@ -44,20 +44,25 @@ class GATLayer(Module):
 
     def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
         n = ctx.num_nodes
-        loops = np.arange(n, dtype=np.int64)
-        src = np.concatenate([ctx.sym_src, loops])
-        dst = np.concatenate([ctx.sym_dst, loops])
+        # The GCN edge set is exactly symmetric edges + self loops, so its
+        # precomputed scatter plans serve attention too.
+        src, dst = ctx.gcn_src, ctx.gcn_dst
+        src_plan, dst_plan = ctx.gcn_src_plan, ctx.gcn_dst_plan
 
         h = self.linear(x).reshape(n, self.heads, self.head_dim)
         # Per-node attention contributions, [N, H].
         alpha_src = (h * self.att_src).sum(axis=2)
         alpha_dst = (h * self.att_dst).sum(axis=2)
         scores = leaky_relu(
-            gather_rows(alpha_src, src) + gather_rows(alpha_dst, dst),
+            gather_rows(alpha_src, src, plan=src_plan)
+            + gather_rows(alpha_dst, dst, plan=dst_plan),
             self.negative_slope,
         )
-        attention = scatter_softmax(scores, dst, n)  # [E, H]
-        messages = gather_rows(h.reshape(n, -1), src).reshape(-1, self.heads, self.head_dim)
+        attention = scatter_softmax(scores, dst, n, plan=dst_plan)  # [E, H]
+        messages = gather_rows(h.reshape(n, -1), src, plan=src_plan)
+        messages = messages.reshape(-1, self.heads, self.head_dim)
         weighted = messages * attention.reshape(-1, self.heads, 1)
-        out = scatter_sum(weighted.reshape(-1, self.heads * self.head_dim), dst, n)
+        out = scatter_sum(
+            weighted.reshape(-1, self.heads * self.head_dim), dst, n, plan=dst_plan
+        )
         return out + self.bias

@@ -43,9 +43,13 @@ class GGNNLayer(Module):
             src, dst = ctx.relation_edges(relation)
             if len(src) == 0:
                 continue
+            src_plan, dst_plan = ctx.relation_plans(relation)
             transformed = self.message_linears[relation](x)
             contribution = scatter_sum(
-                gather_rows(transformed, src), dst, ctx.num_nodes
+                gather_rows(transformed, src, plan=src_plan),
+                dst,
+                ctx.num_nodes,
+                plan=dst_plan,
             )
             message = contribution if message is None else message + contribution
         if message is None:

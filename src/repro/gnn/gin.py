@@ -18,6 +18,8 @@ class GINLayer(Module):
         self.mlp = MLP([in_dim, out_dim, out_dim], rng=rng)
 
     def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
-        messages = gather_rows(x, ctx.sym_src)
-        aggregated = scatter_sum(messages, ctx.sym_dst, ctx.num_nodes)
+        messages = gather_rows(x, ctx.sym_src, plan=ctx.sym_src_plan)
+        aggregated = scatter_sum(
+            messages, ctx.sym_dst, ctx.num_nodes, plan=ctx.sym_dst_plan
+        )
         return self.mlp(x * (1.0 + self.eps) + aggregated)

@@ -7,17 +7,38 @@ Relational layers (RGCN, GGNN, FiLM) keep directionality by doubling the
 relation vocabulary: relation ``r`` for forward edges and ``r + R`` for
 their reverses.
 
-:class:`GraphContext` precomputes and caches everything layers need
-(symmetric edges, GCN normalisation, degrees, per-relation masks) once per
-batch, which dominates throughput on a numpy backend.
+:class:`GraphContext` precomputes and caches everything layers need once
+per batch topology: symmetric edges, GCN normalisation, degrees, and —
+the numpy-backend hot path — :class:`~repro.tensor.SegmentPlan` objects
+turning every scatter/gather in the layer stack into sorted
+``reduceat`` kernels. The relation partition is one lexsort by
+(relation, dst); per-relation edge lists are slices of the sorted edge
+array, already dst-contiguous, so their scatter plans skip the argsort
+too. Plans are built once per context and shared by every layer of
+every forward over it; contexts are additionally cached on the
+:class:`~repro.graph.batch.Batch` they came from (per
+``num_edge_types``), so a *reused* batch — the trainer's epoch loops
+over pinned train/val batches — never rebuilds topology. (Serving
+builds a fresh union batch per flush, so it gains the per-forward plan
+sharing and fast kernels, not cross-flush reuse.)
+
+Indices are validated once at context construction; every plan and
+kernel downstream trusts them (``validate=False`` / ``validated=True``).
 """
 
 from __future__ import annotations
 
+from functools import cached_property
+
 import numpy as np
 
+try:
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - container always ships scipy
+    _sparse = None
+
 from repro.graph.batch import Batch
-from repro.tensor import Tensor, gather_rows, scatter_sum
+from repro.tensor import SegmentPlan, Tensor, gather_rows, plans_enabled, scatter_sum
 
 
 class GraphContext:
@@ -38,6 +59,20 @@ class GraphContext:
         self.batch = np.asarray(batch, dtype=np.int64)
         self.num_graphs = int(num_graphs)
         self.num_edge_types = int(num_edge_types)
+
+        # One-time boundary validation; plans below skip their own scans.
+        if self.edge_index.size and (
+            self.edge_index.min() < 0 or self.edge_index.max() >= self.num_nodes
+        ):
+            raise ValueError("edge_index out of range for num_nodes")
+        if len(self.batch) != self.num_nodes:
+            raise ValueError(
+                f"batch length {len(self.batch)} != num_nodes {self.num_nodes}"
+            )
+        if self.batch.size and (
+            self.batch.min() < 0 or self.batch.max() >= self.num_graphs
+        ):
+            raise ValueError("batch vector out of range for num_graphs")
 
         src, dst = self.edge_index
         # Symmetrised edges for conv-style layers.
@@ -65,11 +100,22 @@ class GraphContext:
             ]
         ).reshape(-1, 1)
 
-        self._relation_edges: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
+        self._relation_plans: dict[int, tuple[SegmentPlan, SegmentPlan]] = {}
 
     @classmethod
     def from_batch(cls, batch: Batch, num_edge_types: int) -> "GraphContext":
-        return cls(
+        """Context for ``batch``, cached on the batch per ``num_edge_types``.
+
+        Repeated forwards over the same :class:`Batch` object (every
+        epoch of a training run) get the same context — and with it the
+        same precomputed scatter plans.
+        """
+        cache = getattr(batch, "_context_cache", None)
+        if cache is not None:
+            ctx = cache.get(int(num_edge_types))
+            if ctx is not None:
+                return ctx
+        ctx = cls(
             edge_index=batch.edge_index,
             edge_type=batch.edge_type,
             num_nodes=batch.num_nodes,
@@ -77,22 +123,107 @@ class GraphContext:
             num_graphs=batch.num_graphs,
             num_edge_types=num_edge_types,
         )
+        if cache is not None:
+            cache[int(num_edge_types)] = ctx
+        return ctx
+
+    # -- precomputed scatter plans (built lazily, once per context) ------
+    @cached_property
+    def sym_dst_plan(self) -> SegmentPlan:
+        """Scatter-into-dst plan over symmetric edges (SAGE, GIN, PNA)."""
+        return SegmentPlan(self.sym_dst, self.num_nodes, validate=False)
+
+    @cached_property
+    def sym_src_plan(self) -> SegmentPlan:
+        """Backward plan of ``gather_rows(x, sym_src)`` over symmetric edges."""
+        return SegmentPlan(self.sym_src, self.num_nodes, validate=False)
+
+    @cached_property
+    def gcn_dst_plan(self) -> SegmentPlan:
+        """Scatter plan over the GCN edge set (symmetric + self loops)."""
+        return SegmentPlan(self.gcn_dst, self.num_nodes, validate=False)
+
+    @cached_property
+    def gcn_src_plan(self) -> SegmentPlan:
+        """Backward plan of ``gather_rows(x, gcn_src)``."""
+        return SegmentPlan(self.gcn_src, self.num_nodes, validate=False)
+
+    @cached_property
+    def pool_plan(self) -> SegmentPlan:
+        """Pooling plan: nodes into graphs by the ``batch`` vector."""
+        return SegmentPlan(self.batch, self.num_graphs, validate=False)
 
     # -- cached relation partition --------------------------------------
+    @cached_property
+    def _relation_partition(self):
+        """Symmetric edges lexsorted by (relation, dst), with run bounds.
+
+        One sort replaces the former O(R*E) boolean-mask sweep: relation
+        ``r`` is the contiguous slice ``[starts[r], ends[r])`` of the
+        sorted arrays, and within it ``dst`` is already non-decreasing.
+        """
+        order = np.lexsort((self.sym_dst, self.sym_rel))
+        counts = np.bincount(self.sym_rel, minlength=self.num_relations)
+        ends = np.cumsum(counts)
+        return self.sym_src[order], self.sym_dst[order], ends - counts, ends
+
     def relation_edges(self, relation: int) -> tuple[np.ndarray, np.ndarray]:
         """(src, dst) arrays of the direction-aware relation ``relation``."""
-        if self._relation_edges is None:
-            self._relation_edges = {}
-            for r in range(self.num_relations):
-                mask = self.sym_rel == r
-                self._relation_edges[r] = (self.sym_src[mask], self.sym_dst[mask])
-        return self._relation_edges[relation]
+        src_sorted, dst_sorted, starts, ends = self._relation_partition
+        run = slice(starts[relation], ends[relation])
+        return src_sorted[run], dst_sorted[run]
+
+    def relation_plans(self, relation: int) -> tuple[SegmentPlan, SegmentPlan]:
+        """(src_plan, dst_plan) for relation ``relation``'s edge slice.
+
+        ``src_plan`` accelerates the backward of gathering source rows;
+        ``dst_plan`` the forward scatter into target nodes (argsort-free:
+        the slice is dst-sorted by construction).
+        """
+        plans = self._relation_plans.get(relation)
+        if plans is None:
+            src, dst = self.relation_edges(relation)
+            plans = (
+                SegmentPlan(src, self.num_nodes, validate=False),
+                SegmentPlan(dst, self.num_nodes, validate=False, assume_sorted=True),
+            )
+            self._relation_plans[relation] = plans
+        return plans
+
+    @cached_property
+    def _gcn_operator(self):
+        """``(Â, Â^T)`` as CSR matrices, or ``None`` without scipy.
+
+        The whole GCN propagation — gather, edge-wise normalisation,
+        scatter — collapses into one sparse matmul per direction;
+        duplicate (dst, src) pairs sum on conversion, matching the
+        scatter semantics. ``Â`` is symmetric by construction but the
+        explicit transpose keeps the adjoint honest if that ever changes.
+        """
+        if _sparse is None:
+            return None
+        adjacency = _sparse.csr_matrix(
+            (self.gcn_norm.reshape(-1), (self.gcn_dst, self.gcn_src)),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+        return adjacency, adjacency.T.tocsr()
 
     # -- aggregation helpers ---------------------------------------------
     def propagate_gcn(self, x: Tensor) -> Tensor:
         """One application of the normalised adjacency ``D^-1/2 Ã D^-1/2``."""
-        messages = gather_rows(x, self.gcn_src) * Tensor(self.gcn_norm)
-        return scatter_sum(messages, self.gcn_dst, self.num_nodes)
+        operator = self._gcn_operator if plans_enabled() else None
+        if operator is not None:
+            adjacency, adjacency_t = operator
+            data = np.asarray(adjacency @ x.data)
+
+            def backward(grad: np.ndarray) -> None:
+                if x.requires_grad:
+                    x._accumulate(np.asarray(adjacency_t @ grad))
+
+            return Tensor._make(data, (x,), backward)
+        messages = gather_rows(x, self.gcn_src, plan=self.gcn_src_plan)
+        messages = messages * Tensor(self.gcn_norm)
+        return scatter_sum(messages, self.gcn_dst, self.num_nodes, plan=self.gcn_dst_plan)
 
     def subgraph(self, keep: np.ndarray) -> "GraphContext":
         """Context induced on the kept nodes (used by Graph U-Net pooling).

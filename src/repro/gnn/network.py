@@ -95,6 +95,10 @@ class GNNEncoder(Module):
         return h
 
     def context_for(self, batch: Batch) -> GraphContext:
+        """Topology bundle for ``batch`` — cached on the batch, so
+        repeated forwards over a reused batch (the trainer's epoch
+        loops) share one context and its precomputed scatter plans
+        instead of rebuilding per forward."""
         return GraphContext.from_batch(batch, self.num_edge_types)
 
 

@@ -32,12 +32,13 @@ class PNALayer(Module):
         self.linear = Linear(mixed_dim, out_dim, rng=rng)
 
     def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
-        messages = gather_rows(x, ctx.sym_src)
+        messages = gather_rows(x, ctx.sym_src, plan=ctx.sym_src_plan)
+        plan = ctx.sym_dst_plan
         aggregated = [
-            scatter_mean(messages, ctx.sym_dst, ctx.num_nodes),
-            scatter_max(messages, ctx.sym_dst, ctx.num_nodes),
-            scatter_min(messages, ctx.sym_dst, ctx.num_nodes),
-            scatter_std(messages, ctx.sym_dst, ctx.num_nodes),
+            scatter_mean(messages, ctx.sym_dst, ctx.num_nodes, plan=plan),
+            scatter_max(messages, ctx.sym_dst, ctx.num_nodes, plan=plan),
+            scatter_min(messages, ctx.sym_dst, ctx.num_nodes, plan=plan),
+            scatter_std(messages, ctx.sym_dst, ctx.num_nodes, plan=plan),
         ]
         log_deg = np.log1p(ctx.sym_degree).reshape(-1, 1)
         # Average log-degree of the batch anchors the scalers (the PNA

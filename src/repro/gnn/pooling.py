@@ -20,17 +20,17 @@ def register_pooling(name: str):
 def sum_pool(x: Tensor, ctx: GraphContext) -> Tensor:
     """Sum node embeddings per graph — the natural readout for additive
     quantities such as resource usage."""
-    return scatter_sum(x, ctx.batch, ctx.num_graphs)
+    return scatter_sum(x, ctx.batch, ctx.num_graphs, plan=ctx.pool_plan)
 
 
 @register_pooling("mean")
 def mean_pool(x: Tensor, ctx: GraphContext) -> Tensor:
-    return scatter_mean(x, ctx.batch, ctx.num_graphs)
+    return scatter_mean(x, ctx.batch, ctx.num_graphs, plan=ctx.pool_plan)
 
 
 @register_pooling("max")
 def max_pool(x: Tensor, ctx: GraphContext) -> Tensor:
-    return scatter_max(x, ctx.batch, ctx.num_graphs)
+    return scatter_max(x, ctx.batch, ctx.num_graphs, plan=ctx.pool_plan)
 
 
 def get_pooling(name: str):

@@ -41,7 +41,8 @@ class RGCNLayer(Module):
             src, dst = ctx.relation_edges(relation)
             if len(src) == 0:
                 continue
+            src_plan, dst_plan = ctx.relation_plans(relation)
             transformed = self.relation_linears[relation](x)
-            messages = gather_rows(transformed, src)
-            out = out + scatter_mean(messages, dst, ctx.num_nodes)
+            messages = gather_rows(transformed, src, plan=src_plan)
+            out = out + scatter_mean(messages, dst, ctx.num_nodes, plan=dst_plan)
         return out

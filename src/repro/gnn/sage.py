@@ -18,6 +18,8 @@ class SAGELayer(Module):
         self.lin_neighbor = Linear(in_dim, out_dim, bias=False, rng=rng)
 
     def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
-        messages = gather_rows(x, ctx.sym_src)
-        aggregated = scatter_mean(messages, ctx.sym_dst, ctx.num_nodes)
+        messages = gather_rows(x, ctx.sym_src, plan=ctx.sym_src_plan)
+        aggregated = scatter_mean(
+            messages, ctx.sym_dst, ctx.num_nodes, plan=ctx.sym_dst_plan
+        )
         return self.lin_root(x) + self.lin_neighbor(aggregated)

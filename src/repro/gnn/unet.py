@@ -93,4 +93,6 @@ def _unpool(h: Tensor, keep: np.ndarray, num_nodes: int) -> Tensor:
     """Scatter coarse rows back into an all-zeros fine-resolution tensor."""
     from repro.tensor import scatter_sum
 
-    return scatter_sum(h, keep, num_nodes)
+    # ``keep`` is a subset of node ids produced by TopKPool, in range by
+    # construction — skip the per-call index scan.
+    return scatter_sum(h, keep, num_nodes, validated=True)

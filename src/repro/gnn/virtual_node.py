@@ -31,7 +31,7 @@ class VirtualNodeExchange(Module):
     def forward(
         self, x: Tensor, state: VirtualNodeState, ctx: GraphContext
     ) -> tuple[Tensor, VirtualNodeState]:
-        pooled = scatter_sum(x, ctx.batch, ctx.num_graphs)
+        pooled = scatter_sum(x, ctx.batch, ctx.num_graphs, plan=ctx.pool_plan)
         new_embedding = self.update(pooled + state.embedding)
         state.embedding = new_embedding
-        return x + gather_rows(new_embedding, ctx.batch), state
+        return x + gather_rows(new_embedding, ctx.batch, plan=ctx.pool_plan), state

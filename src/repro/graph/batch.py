@@ -50,6 +50,12 @@ class Batch:
             if all(g.node_resources is not None for g in graphs)
             else None
         )
+        #: Per-``num_edge_types`` GraphContext cache, filled by
+        #: :meth:`repro.gnn.message_passing.GraphContext.from_batch` so a
+        #: reused batch (epoch loops, repeated service flushes) pays for
+        #: topology precomputation — symmetrisation, GCN norms, scatter
+        #: plans — exactly once.
+        self._context_cache: dict[int, object] = {}
 
     @property
     def num_edges(self) -> int:

@@ -29,7 +29,9 @@ from repro.tensor.ops import (
     where,
 )
 from repro.tensor.scatter import (
+    SegmentPlan,
     gather_rows,
+    plans_enabled,
     scatter_max,
     scatter_mean,
     scatter_min,
@@ -37,6 +39,7 @@ from repro.tensor.scatter import (
     scatter_std,
     scatter_sum,
     segment_counts,
+    use_plans,
 )
 from repro.tensor.gradcheck import gradcheck
 
@@ -62,7 +65,10 @@ __all__ = [
     "stack",
     "tanh",
     "where",
+    "SegmentPlan",
     "gather_rows",
+    "plans_enabled",
+    "use_plans",
     "scatter_max",
     "scatter_mean",
     "scatter_min",

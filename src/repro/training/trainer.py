@@ -2,20 +2,26 @@
 
 Targets are regressed in ``log1p`` space (resource counts span three
 orders of magnitude) and mapped back with ``expm1`` for MAPE evaluation.
-Batches — and their :class:`~repro.gnn.message_passing.GraphContext`
-objects — are built once and reused every epoch; on a numpy backend the
-context construction (symmetrisation, GCN norms, relation partition) is
-a significant share of the per-step cost.
+Training *and* validation batches are built once before the epoch loop,
+and each :class:`~repro.gnn.message_passing.GraphContext` — with its
+symmetrised edges, GCN norms, relation partition and scatter plans — is
+cached on its batch by ``GraphContext.from_batch``, so every epoch after
+the first reuses the precomputed topology instead of rebuilding it; on a
+numpy backend that construction is a significant share of the per-step
+cost. All batching goes through
+:func:`repro.graph.batch.iter_batches` (shuffled for training, ordered
+for the predict/evaluate helpers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.gnn.network import GraphRegressor, NodeClassifier
-from repro.graph.batch import Batch
+from repro.graph.batch import Batch, iter_batches
 from repro.graph.data import GraphData
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, no_grad
@@ -46,23 +52,19 @@ class TrainResult:
     best_state: dict[str, np.ndarray] | None = None
 
 
-def _make_batches(graphs: list[GraphData], batch_size: int, rng: np.random.Generator):
-    order = rng.permutation(len(graphs))
-    return [
-        Batch([graphs[i] for i in order[k : k + batch_size]])
-        for k in range(0, len(graphs), batch_size)
-    ]
-
-
 def _target_matrix(batch: Batch) -> np.ndarray:
     if batch.y is None:
         raise ValueError("batch lacks graph targets")
     return np.log1p(batch.y)
 
 
-def predict_regressor(model: GraphRegressor, graphs: list[GraphData], batch_size: int = 64) -> np.ndarray:
-    """Predict raw-scale targets for a list of graphs.
+def _forward_batches(
+    model, batches: Sequence[Batch], transform: Callable[[np.ndarray], np.ndarray]
+) -> np.ndarray:
+    """Eval-mode, no-grad forward over prebuilt batches.
 
+    Reused batches keep their cached contexts, so calling this every
+    epoch (the validation loop) pays for topology precomputation once.
     The model's train/eval mode is restored on exit, so eval-mode models
     (the common case when serving) stay in eval mode.
     """
@@ -70,20 +72,57 @@ def predict_regressor(model: GraphRegressor, graphs: list[GraphData], batch_size
     model.eval()
     outputs = []
     with no_grad():
-        for k in range(0, len(graphs), batch_size):
-            batch = Batch(graphs[k : k + batch_size])
-            outputs.append(np.expm1(model(batch).data))
+        for batch in batches:
+            outputs.append(transform(model(batch).data))
     model.train(was_training)
     return np.concatenate(outputs, axis=0)
 
 
-def evaluate_regressor(
-    model: GraphRegressor, graphs: list[GraphData], batch_size: int = 64
+def predict_regressor(model: GraphRegressor, graphs: list[GraphData], batch_size: int = 64) -> np.ndarray:
+    """Predict raw-scale targets for a list of graphs."""
+    batches = list(iter_batches(graphs, batch_size))
+    return _forward_batches(model, batches, np.expm1)
+
+
+def _evaluate_regressor_batches(
+    model: GraphRegressor, batches: Sequence[Batch]
 ) -> np.ndarray:
-    """Per-target MAPE of the model over ``graphs``."""
-    pred = predict_regressor(model, graphs, batch_size)
-    target = np.stack([g.y for g in graphs])
+    pred = _forward_batches(model, batches, np.expm1)
+    target = np.concatenate([_require_targets(b) for b in batches], axis=0)
     return mape(pred, target)
+
+
+def _require_targets(batch: Batch) -> np.ndarray:
+    if batch.y is None:
+        raise ValueError("batch lacks graph targets")
+    return batch.y
+
+
+def evaluate_regressor(
+    model: GraphRegressor,
+    graphs: list[GraphData],
+    batch_size: int = 64,
+    batches: Sequence[Batch] | None = None,
+) -> np.ndarray:
+    """Per-target MAPE of the model over ``graphs``.
+
+    ``batches`` short-circuits batching: the epoch loop passes its
+    prebuilt (context-cached) validation batches here. They must cover
+    exactly ``graphs``.
+    """
+    if batches is None:
+        batches = list(iter_batches(graphs, batch_size))
+    else:
+        _check_batches_cover(batches, graphs)
+    return _evaluate_regressor_batches(model, batches)
+
+
+def _check_batches_cover(batches: Sequence[Batch], graphs: list[GraphData]) -> None:
+    if sum(b.num_graphs for b in batches) != len(graphs):
+        raise ValueError(
+            "prebuilt batches do not cover the given graphs; pass the "
+            "graph list they were built from"
+        )
 
 
 def train_graph_regressor(
@@ -94,7 +133,8 @@ def train_graph_regressor(
 ) -> TrainResult:
     """Fit the regressor, restoring the best-validation-MAPE weights."""
     rng = np.random.default_rng(config.seed)
-    batches = _make_batches(train_graphs, config.batch_size, rng)
+    batches = list(iter_batches(train_graphs, config.batch_size, rng))
+    val_batches = list(iter_batches(val_graphs, 64))
     targets = [Tensor(_target_matrix(b)) for b in batches]
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
     best = (0, np.inf, model.state_dict())
@@ -110,7 +150,9 @@ def train_graph_regressor(
             optimizer.step()
             epoch_loss += float(loss.data) * batch.num_graphs
         epoch_loss /= len(train_graphs)
-        val_mape = float(np.mean(evaluate_regressor(model, val_graphs)))
+        val_mape = float(
+            np.mean(evaluate_regressor(model, val_graphs, batches=val_batches))
+        )
         history.append({"epoch": epoch, "loss": epoch_loss, "val_mape": val_mape})
         if config.log_every and epoch % config.log_every == 0:
             print(f"epoch {epoch:3d}  loss {epoch_loss:.4f}  val MAPE {val_mape:.4f}")
@@ -133,24 +175,30 @@ def train_graph_regressor(
 def predict_node_logits(
     model: NodeClassifier, graphs: list[GraphData], batch_size: int = 64
 ) -> np.ndarray:
-    was_training = model.training
-    model.eval()
-    outputs = []
-    with no_grad():
-        for k in range(0, len(graphs), batch_size):
-            batch = Batch(graphs[k : k + batch_size])
-            outputs.append(model(batch).data)
-    model.train(was_training)
-    return np.concatenate(outputs, axis=0)
+    batches = list(iter_batches(graphs, batch_size))
+    return _forward_batches(model, batches, lambda data: data)
+
+
+def _evaluate_node_classifier_batches(
+    model: NodeClassifier, batches: Sequence[Batch]
+) -> np.ndarray:
+    logits = _forward_batches(model, batches, lambda data: data)
+    labels = np.concatenate([b.node_labels for b in batches], axis=0)
+    return binary_accuracy(logits, labels)
 
 
 def evaluate_node_classifier(
-    model: NodeClassifier, graphs: list[GraphData], batch_size: int = 64
+    model: NodeClassifier,
+    graphs: list[GraphData],
+    batch_size: int = 64,
+    batches: Sequence[Batch] | None = None,
 ) -> np.ndarray:
     """Per-task (DSP/LUT/FF) classification accuracy over all nodes."""
-    logits = predict_node_logits(model, graphs, batch_size)
-    labels = np.concatenate([g.node_labels for g in graphs], axis=0)
-    return binary_accuracy(logits, labels)
+    if batches is None:
+        batches = list(iter_batches(graphs, batch_size))
+    else:
+        _check_batches_cover(batches, graphs)
+    return _evaluate_node_classifier_batches(model, batches)
 
 
 def train_node_classifier(
@@ -161,7 +209,8 @@ def train_node_classifier(
 ) -> TrainResult:
     """Fit the node-level resource-type classifier (3 binary tasks)."""
     rng = np.random.default_rng(config.seed)
-    batches = _make_batches(train_graphs, config.batch_size, rng)
+    batches = list(iter_batches(train_graphs, config.batch_size, rng))
+    val_batches = list(iter_batches(val_graphs, 64))
     targets = [Tensor(b.node_labels) for b in batches]
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
     best = (0, -np.inf, model.state_dict())
@@ -177,7 +226,9 @@ def train_node_classifier(
             optimizer.step()
             epoch_loss += float(loss.data) * batch.num_nodes
         epoch_loss /= sum(g.num_nodes for g in train_graphs)
-        val_acc = float(np.mean(evaluate_node_classifier(model, val_graphs)))
+        val_acc = float(
+            np.mean(evaluate_node_classifier(model, val_graphs, batches=val_batches))
+        )
         history.append({"epoch": epoch, "loss": epoch_loss, "val_acc": val_acc})
         if config.log_every and epoch % config.log_every == 0:
             print(f"epoch {epoch:3d}  loss {epoch_loss:.4f}  val acc {val_acc:.4f}")
