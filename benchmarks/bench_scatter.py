@@ -170,8 +170,9 @@ def test_scatter_engine_speedup(benchmark, scale):
     benchmark.extra_info.update(summary)
 
     # Acceptance: >=3x end-to-end forward+backward on the scatter-dominated
-    # model step, artifact emitted with both paths' timings.
-    assert path.is_file()
+    # model step, artifact emitted with both paths' timings (unless the
+    # --bench-json skip knob suppressed artifact writing).
+    assert path is None or path.is_file()
     scatter_dominated = payload["models"]["gcn"]
     assert scatter_dominated["speedup"] >= 3.0, payload["models"]
     # The relational stack is matmul-heavy, so the bar is lower: planned

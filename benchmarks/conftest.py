@@ -7,18 +7,27 @@ cost of regenerating that table; the scientific output — the table in
 the paper's layout plus the ordering checks — is printed to stdout and
 attached to the benchmark's ``extra_info``.
 
-Run everything::
+Run everything (this is the one-command regeneration of every
+``BENCH_*.json`` artifact at the repo root)::
 
     pytest benchmarks/ --benchmark-only
 
 Run one table::
 
     pytest benchmarks/bench_table4.py --benchmark-only
+
+Redirect or suppress the JSON artifacts (CI smoke runs pass ``skip`` so
+the working tree stays clean); the ``REPRO_BENCH_DIR`` environment
+variable is the equivalent knob for non-pytest invocations::
+
+    pytest benchmarks/ --benchmark-only --bench-json /tmp/bench
+    pytest benchmarks/ --benchmark-only --bench-json skip
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -28,16 +37,52 @@ from repro.experiments.common import get_scale
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Environment knob backing --bench-json ("skip" or a directory). The
+#: option is forwarded through the environment because pytest imports
+#: this conftest as its own plugin module, distinct from the
+#: ``benchmarks.conftest`` instance the bench modules import
+#: ``write_bench_json`` from — a module global would not be shared.
+_BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="DIR|skip",
+        help=(
+            "Directory for BENCH_*.json artifacts (default: repo root); "
+            "'skip' disables writing entirely."
+        ),
+    )
+
+
+def pytest_configure(config):
+    option = config.getoption("--bench-json")
+    if option is not None:
+        os.environ[_BENCH_DIR_ENV] = option
+
 
 @pytest.fixture(scope="session")
 def scale():
     return get_scale()
 
 
-def write_bench_json(name: str, payload: dict) -> Path:
-    """Persist a benchmark artifact as ``BENCH_<name>.json`` at the repo
-    root, giving future PRs a perf trajectory to compare against."""
-    path = _REPO_ROOT / f"BENCH_{name}.json"
+def write_bench_json(name: str, payload: dict) -> Path | None:
+    """Persist a benchmark artifact as ``BENCH_<name>.json``, giving
+    future PRs a perf trajectory to compare against.
+
+    Lands at the repo root unless ``--bench-json`` (or
+    ``REPRO_BENCH_DIR``) redirects it; returns ``None`` when artifact
+    writing is disabled (``skip``).
+    """
+    target = os.environ.get(_BENCH_DIR_ENV)
+    if target == "skip":
+        return None
+    directory = Path(target) if target else _REPO_ROOT
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 

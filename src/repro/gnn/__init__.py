@@ -8,13 +8,14 @@ Layer catalogue (paper Section 4.1):
 - vision-inspired: Graph U-Net, GNN-FiLM.
 """
 
-from repro.gnn.message_passing import GraphContext
+from repro.gnn.message_passing import GraphContext, RelationFusion
 from repro.gnn.registry import ALL_MODEL_NAMES, MODEL_SPECS, build_layer, get_spec
 from repro.gnn.network import GNNEncoder, GraphRegressor, NodeClassifier
 from repro.gnn.pooling import get_pooling, max_pool, mean_pool, sum_pool
 
 __all__ = [
     "GraphContext",
+    "RelationFusion",
     "ALL_MODEL_NAMES",
     "MODEL_SPECS",
     "build_layer",

@@ -4,6 +4,14 @@ Messages along relation ``r`` are modulated feature-wise by the *target*
 node: ``gamma, beta = g_r(x_target)`` and the message becomes
 ``sigma(gamma * W_r x_source + beta)``. A self-loop relation is always
 present so isolated nodes still update.
+
+Both per-relation weight stacks (message transform and FiLM generator)
+are :class:`~repro.nn.RelationLinear` modules. The fused path computes
+per-edge message values (gathered at ``src``) and per-edge FiLM
+parameters (gathered at ``dst``) with the batched relation kernels,
+modulates edge-wise, multiplies by the ``1/c_{v,r}`` column and lands
+everything with ONE ``scatter_sum`` — the per-relation
+``scatter_mean`` loop is kept behind ``use_fused_relations(False)``.
 """
 
 from __future__ import annotations
@@ -11,8 +19,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gnn.message_passing import GraphContext
-from repro.nn import Linear, Module, ModuleList
-from repro.tensor import Tensor, gather_rows, relu, scatter_mean
+from repro.nn import Linear, Module, RelationLinear
+from repro.tensor import (
+    Tensor,
+    fused_relations_enabled,
+    gather_rows,
+    relu,
+    scatter_mean,
+)
 
 
 class FiLMLayer(Module):
@@ -25,12 +39,12 @@ class FiLMLayer(Module):
     ):
         super().__init__()
         self.num_relations = num_relations
-        self.message_linears = ModuleList(
-            Linear(in_dim, out_dim, bias=False, rng=rng) for _ in range(num_relations)
+        self.message_linear = RelationLinear(
+            in_dim, out_dim, num_relations, bias=False, rng=rng
         )
         # gamma and beta jointly predicted: [N, 2 * out_dim].
-        self.film_generators = ModuleList(
-            Linear(in_dim, 2 * out_dim, rng=rng) for _ in range(num_relations)
+        self.film_generator = RelationLinear(
+            in_dim, 2 * out_dim, num_relations, bias=True, rng=rng
         )
         self.self_linear = Linear(in_dim, out_dim, bias=False, rng=rng)
         self.self_film = Linear(in_dim, 2 * out_dim, rng=rng)
@@ -43,13 +57,24 @@ class FiLMLayer(Module):
 
     def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
         out = self._modulate(self.self_film(x), self.self_linear(x))
+        if fused_relations_enabled():
+            fusion = ctx.relation_fusion(self.num_relations)
+            if fusion.num_edges:
+                value = self.message_linear.edge_messages(x, fusion, endpoint="src")
+                film = self.film_generator.edge_messages(x, fusion, endpoint="dst")
+                modulated = self._modulate(film, value)
+                out = out + fusion.weighted_scatter(modulated)
+            return out
         for relation in range(min(self.num_relations, ctx.num_relations)):
             src, dst = ctx.relation_edges(relation)
             if len(src) == 0:
                 continue
             src_plan, dst_plan = ctx.relation_plans(relation)
-            value = gather_rows(self.message_linears[relation](x), src, plan=src_plan)
-            film = gather_rows(self.film_generators[relation](x), dst, plan=dst_plan)
+            transformed = self.message_linear.single(x, relation)
+            value = gather_rows(transformed, src, plan=src_plan)
+            film = gather_rows(
+                self.film_generator.single(x, relation), dst, plan=dst_plan
+            )
             out = out + scatter_mean(
                 self._modulate(film, value), dst, ctx.num_nodes, plan=dst_plan
             )

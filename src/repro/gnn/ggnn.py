@@ -3,6 +3,12 @@
 Messages use edge-type-dependent weights; node states are updated with a
 gated recurrent unit, so ``in_dim`` must equal ``out_dim`` (the network
 builder guarantees this after the input encoder).
+
+Message weights live in one stacked :class:`~repro.nn.RelationLinear`.
+Because the aggregated message is a plain sum over relations, the fused
+path computes every relation's edge messages in one batched kernel and
+lands them with ONE ``scatter_sum`` over the whole partitioned edge
+array — no per-relation loop, no R-term tensor addition chain.
 """
 
 from __future__ import annotations
@@ -10,8 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gnn.message_passing import GraphContext
-from repro.nn import Linear, Module, ModuleList
-from repro.tensor import Tensor, gather_rows, scatter_sum
+from repro.nn import Linear, Module, RelationLinear
+from repro.tensor import Tensor, fused_relations_enabled, gather_rows, scatter_sum
 
 
 class GGNNLayer(Module):
@@ -26,8 +32,8 @@ class GGNNLayer(Module):
         if in_dim != out_dim:
             raise ValueError("GGNN requires in_dim == out_dim (recurrent update)")
         self.num_relations = num_relations
-        self.message_linears = ModuleList(
-            Linear(in_dim, out_dim, bias=False, rng=rng) for _ in range(num_relations)
+        self.message_linear = RelationLinear(
+            in_dim, out_dim, num_relations, bias=False, rng=rng
         )
         # GRU gates: input is the aggregated message, hidden is the node state.
         self.w_update = Linear(out_dim, out_dim, rng=rng)
@@ -37,14 +43,25 @@ class GGNNLayer(Module):
         self.w_cand = Linear(out_dim, out_dim, rng=rng)
         self.u_cand = Linear(out_dim, out_dim, bias=False, rng=rng)
 
-    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+    def _aggregate_fused(self, x: Tensor, ctx: GraphContext) -> Tensor | None:
+        fusion = ctx.relation_fusion(self.num_relations)
+        if not fusion.num_edges:
+            return None
+        if fusion.prefer_block(len(x)):
+            messages = self.message_linear.edge_messages(x, fusion, path="block")
+            return scatter_sum(
+                messages, None, ctx.num_nodes, plan=fusion.plan("dst")
+            )
+        return fusion.collect(self.message_linear(x))
+
+    def _aggregate_loop(self, x: Tensor, ctx: GraphContext) -> Tensor | None:
         message: Tensor | None = None
         for relation in range(min(self.num_relations, ctx.num_relations)):
             src, dst = ctx.relation_edges(relation)
             if len(src) == 0:
                 continue
             src_plan, dst_plan = ctx.relation_plans(relation)
-            transformed = self.message_linears[relation](x)
+            transformed = self.message_linear.single(x, relation)
             contribution = scatter_sum(
                 gather_rows(transformed, src, plan=src_plan),
                 dst,
@@ -52,6 +69,13 @@ class GGNNLayer(Module):
                 plan=dst_plan,
             )
             message = contribution if message is None else message + contribution
+        return message
+
+    def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
+        if fused_relations_enabled():
+            message = self._aggregate_fused(x, ctx)
+        else:
+            message = self._aggregate_loop(x, ctx)
         if message is None:
             message = x * 0.0
         update = (self.w_update(message) + self.u_update(x)).sigmoid()

@@ -38,7 +38,14 @@ except ImportError:  # pragma: no cover - container always ships scipy
     _sparse = None
 
 from repro.graph.batch import Batch
-from repro.tensor import SegmentPlan, Tensor, gather_rows, plans_enabled, scatter_sum
+from repro.tensor import (
+    SegmentPlan,
+    Tensor,
+    gather_rows,
+    get_default_dtype,
+    plans_enabled,
+    scatter_sum,
+)
 
 
 class GraphContext:
@@ -93,14 +100,22 @@ class GraphContext:
         loops = np.arange(self.num_nodes, dtype=np.int64)
         self.gcn_src = np.concatenate([self.sym_src, loops])
         self.gcn_dst = np.concatenate([self.sym_dst, loops])
-        self.gcn_norm = np.concatenate(
-            [
-                inv_sqrt[self.sym_src] * inv_sqrt[self.sym_dst],
-                inv_sqrt * inv_sqrt,
-            ]
-        ).reshape(-1, 1)
+        # Norm table in the active precision policy (computed in float64
+        # for accuracy, stored once in the dtype the layers compute in so
+        # float32 forwards are not silently promoted).
+        self.gcn_norm = (
+            np.concatenate(
+                [
+                    inv_sqrt[self.sym_src] * inv_sqrt[self.sym_dst],
+                    inv_sqrt * inv_sqrt,
+                ]
+            )
+            .astype(get_default_dtype())
+            .reshape(-1, 1)
+        )
 
         self._relation_plans: dict[int, tuple[SegmentPlan, SegmentPlan]] = {}
+        self._relation_fusions: dict[int, "RelationFusion"] = {}
 
     @classmethod
     def from_batch(cls, batch: Batch, num_edge_types: int) -> "GraphContext":
@@ -173,6 +188,20 @@ class GraphContext:
         run = slice(starts[relation], ends[relation])
         return src_sorted[run], dst_sorted[run]
 
+    def relation_fusion(self, num_relations: int) -> "RelationFusion":
+        """Flattened relation partition for the fused relation kernels.
+
+        ``num_relations`` is the *layer's* stacked-weight depth (it may
+        exceed the context's direction-aware relation count, in which
+        case only the context's relations carry edges). Cached per depth;
+        all layers of a network share one fusion per context.
+        """
+        fusion = self._relation_fusions.get(int(num_relations))
+        if fusion is None:
+            fusion = RelationFusion(self, int(num_relations))
+            self._relation_fusions[int(num_relations)] = fusion
+        return fusion
+
     def relation_plans(self, relation: int) -> tuple[SegmentPlan, SegmentPlan]:
         """(src_plan, dst_plan) for relation ``relation``'s edge slice.
 
@@ -244,3 +273,204 @@ class GraphContext:
             num_graphs=self.num_graphs,
             num_edge_types=self.num_edge_types,
         )
+
+
+class RelationFusion:
+    """One flat view of the relation partition for fused relation kernels.
+
+    Where the per-relation loop hands layers R separate (src, dst, plan)
+    triples, this hands them ONE relation-partitioned edge array: the
+    context's lexsorted-by-(relation, dst) edges restricted to the
+    relations the layer covers, with run bounds ``[starts[r], ends[r])``
+    per relation. On top of it live, all built lazily and cached:
+
+    - ``plan(endpoint)`` — scatter plans over the full partitioned src /
+      dst vectors (one scatter for ALL relations instead of R);
+    - ``flat_index``/``flat_plan`` — gather indices into the
+      ``[R * N, D]`` flattening of a stacked all-relations transform;
+    - ``norm_for(dtype)`` — the per-edge ``1 / c_{v, r}`` column that
+      turns the single fused ``scatter_sum`` into the per-relation
+      ``scatter_mean`` RGCN and FiLM are defined with;
+    - ``collect``/``weighted_scatter`` — CSR operators (the relational
+      analogue of the GCN ``Â`` matmul) fusing gather + normalise +
+      scatter into one sparse matvec per direction: ``collect`` maps a
+      stacked ``[R, N, O]`` transform straight to ``[N, O]`` aggregated
+      messages, ``weighted_scatter`` lands per-edge messages with their
+      ``1/c_{v,r}`` weights applied. Both fall back to the plan-threaded
+      gather/mul/scatter composition without scipy or under
+      ``use_plans(False)``.
+    """
+
+    def __init__(self, ctx: GraphContext, num_relations: int):
+        self.num_nodes = ctx.num_nodes
+        #: Stacked-weight depth of the layers served (>= relations with edges).
+        self.num_relations = num_relations
+        active = min(num_relations, ctx.num_relations)
+        src_sorted, dst_sorted, starts, ends = ctx._relation_partition
+        stop = int(ends[active - 1]) if active else 0
+        self.src = src_sorted[:stop]
+        self.dst = dst_sorted[:stop]
+        self.starts = starts[:active]
+        self.ends = ends[:active]
+        self.num_edges = stop
+        self._plans: dict[str, SegmentPlan] = {}
+        self._flat: dict[str, tuple[np.ndarray, SegmentPlan]] = {}
+        self._norms: dict[np.dtype, np.ndarray] = {}
+        self._collect_ops: dict[tuple[np.dtype, bool], tuple] = {}
+        self._edge_ops: dict[np.dtype, tuple] = {}
+
+    def prefer_block(self, num_nodes: int) -> bool:
+        """Whether the gather-by-relation block kernel transforms fewer
+        rows than a stacked all-nodes transform."""
+        return self.num_edges < self.num_relations * num_nodes
+
+    def index(self, endpoint: str) -> np.ndarray:
+        """Partitioned node ids of edge ``endpoint`` (``"src"``/``"dst"``)."""
+        if endpoint == "src":
+            return self.src
+        if endpoint == "dst":
+            return self.dst
+        raise ValueError(f"endpoint must be 'src' or 'dst', got '{endpoint}'")
+
+    def plan(self, endpoint: str) -> SegmentPlan:
+        """Scatter plan of ``index(endpoint)`` into the node table."""
+        plan = self._plans.get(endpoint)
+        if plan is None:
+            plan = SegmentPlan(self.index(endpoint), self.num_nodes, validate=False)
+            self._plans[endpoint] = plan
+        return plan
+
+    @cached_property
+    def _relation_ids(self) -> np.ndarray:
+        """Per-edge relation id (the partition makes it a repeat pattern)."""
+        return np.repeat(
+            np.arange(len(self.starts), dtype=np.int64), self.ends - self.starts
+        )
+
+    def flat_index(self, endpoint: str) -> np.ndarray:
+        """Row ids into the ``[num_relations * N, D]`` stacked transform."""
+        return self._flat_entry(endpoint)[0]
+
+    def flat_plan(self, endpoint: str) -> SegmentPlan:
+        """Backward plan of gathering ``flat_index`` from the stacked rows."""
+        return self._flat_entry(endpoint)[1]
+
+    def _flat_entry(self, endpoint: str) -> tuple[np.ndarray, SegmentPlan]:
+        entry = self._flat.get(endpoint)
+        if entry is None:
+            index = self._relation_ids * self.num_nodes + self.index(endpoint)
+            plan = SegmentPlan(
+                index, self.num_relations * self.num_nodes, validate=False
+            )
+            self._flat[endpoint] = entry = (index, plan)
+        return entry
+
+    def norm_for(self, dtype) -> np.ndarray:
+        """``[E, 1]`` column of ``1 / c_{v, r}`` (dst in-count per relation).
+
+        Multiplying messages by it and scatter-summing over ``dst``
+        reproduces the per-relation ``scatter_mean`` semantics in one
+        fused scatter. Cached per dtype so mixed float32/float64 runs
+        over one context stay in their own precision.
+        """
+        dtype = np.dtype(dtype)
+        norm = self._norms.get(dtype)
+        if norm is None:
+            # One flat bincount over the (relation, dst) key — no
+            # per-relation loop.
+            key = self._relation_ids * self.num_nodes + self.dst
+            counts = np.bincount(key)
+            inv = 1.0 / counts[key] if self.num_edges else np.empty(0)
+            norm = inv.astype(dtype).reshape(-1, 1)
+            self._norms[dtype] = norm
+        return norm
+
+    # -- fused CSR operators (gather + normalise + scatter in one matvec) --
+    def _collect_operator(self, dtype, weighted: bool):
+        """``[N, R * N]`` CSR summing a flattened stacked transform into
+        per-node messages (optionally ``1/c_{v,r}``-weighted), + its
+        transpose for the backward. ``None`` without scipy."""
+        if _sparse is None:
+            return None
+        key = (np.dtype(dtype), weighted)
+        operator = self._collect_ops.get(key)
+        if operator is None:
+            data = (
+                self.norm_for(dtype).reshape(-1)
+                if weighted
+                else np.ones(self.num_edges, dtype=dtype)
+            )
+            matrix = _sparse.csr_matrix(
+                (data, (self.dst, self.flat_index("src"))),
+                shape=(self.num_nodes, self.num_relations * self.num_nodes),
+            )
+            self._collect_ops[key] = operator = (matrix, matrix.T.tocsr())
+        return operator
+
+    def _edge_operator(self, dtype):
+        """``[N, E]`` CSR landing per-edge messages on their dst rows with
+        the ``1/c_{v,r}`` weight applied, + transpose. ``None`` without
+        scipy."""
+        if _sparse is None:
+            return None
+        key = np.dtype(dtype)
+        operator = self._edge_ops.get(key)
+        if operator is None:
+            matrix = _sparse.csr_matrix(
+                (
+                    self.norm_for(dtype).reshape(-1),
+                    (self.dst, np.arange(self.num_edges)),
+                ),
+                shape=(self.num_nodes, self.num_edges),
+            )
+            self._edge_ops[key] = operator = (matrix, matrix.T.tocsr())
+        return operator
+
+    def collect(self, stacked: Tensor, weighted: bool = False) -> Tensor:
+        """Aggregate a stacked ``[R, N, O]`` transform into ``[N, O]``.
+
+        Row ``v`` of the result is ``sum_e w_e * stacked[r_e, src_e]``
+        over edges into ``v`` (``w_e = 1/c_{v,r}`` when ``weighted`` —
+        the per-relation mean — else 1). With scipy this is ONE sparse
+        matvec per direction; otherwise it decomposes into the
+        plan-threaded gather (+ norm multiply) + scatter.
+        """
+        rows = self.num_relations * self.num_nodes
+        operator = self._collect_operator(stacked.dtype, weighted) if plans_enabled() else None
+        if operator is not None:
+            matrix, matrix_t = operator
+            flat = stacked.data.reshape(rows, -1)
+            data = np.asarray(matrix @ flat)
+
+            def backward(grad: np.ndarray) -> None:
+                if stacked.requires_grad:
+                    stacked._accumulate(
+                        np.asarray(matrix_t @ grad).reshape(stacked.shape)
+                    )
+
+            return Tensor._make(data, (stacked,), backward)
+        flat = stacked.reshape(rows, stacked.shape[-1])
+        messages = gather_rows(flat, self.flat_index("src"), plan=self.flat_plan("src"))
+        if weighted:
+            messages = messages * Tensor(self.norm_for(messages.dtype))
+        return scatter_sum(messages, None, self.num_nodes, plan=self.plan("dst"))
+
+    def weighted_scatter(self, messages: Tensor) -> Tensor:
+        """Land per-edge ``messages`` on dst rows, ``1/c_{v,r}``-weighted.
+
+        The fused equivalent of ``messages * norm`` + ``scatter_sum`` —
+        one sparse matvec per direction with scipy, the plan-threaded
+        composition otherwise.
+        """
+        operator = self._edge_operator(messages.dtype) if plans_enabled() else None
+        if operator is not None:
+            matrix, matrix_t = operator
+            data = np.asarray(matrix @ messages.data)
+
+            def backward(grad: np.ndarray) -> None:
+                if messages.requires_grad:
+                    messages._accumulate(np.asarray(matrix_t @ grad))
+
+            return Tensor._make(data, (messages,), backward)
+        weighted = messages * Tensor(self.norm_for(messages.dtype))
+        return scatter_sum(weighted, None, self.num_nodes, plan=self.plan("dst"))

@@ -45,8 +45,12 @@ class PNALayer(Module):
         # paper uses the training-set average; the batch average is the
         # streaming equivalent and keeps the layer stateless).
         delta = max(float(log_deg.mean()), 1e-6)
-        amplify = Tensor(log_deg / delta)
-        attenuate = Tensor(delta / np.maximum(log_deg, 1e-6))
+        # Scalers follow the node-embedding dtype (float64 log-degree
+        # columns would silently promote a float32 forward).
+        amplify = Tensor((log_deg / delta).astype(x.dtype, copy=False))
+        attenuate = Tensor(
+            (delta / np.maximum(log_deg, 1e-6)).astype(x.dtype, copy=False)
+        )
         views = [x]
         for agg in aggregated:
             views.append(agg)

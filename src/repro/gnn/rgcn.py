@@ -2,6 +2,15 @@
 
 One weight matrix per direction-aware relation; per-relation mean
 normalisation (``1/c_{v,r}``) as in the original paper.
+
+The relation transforms run through one :class:`~repro.nn.RelationLinear`
+(stacked ``[R, D, D]`` weight). On the fused path the per-relation
+gather → transform → ``scatter_mean`` loop collapses into: one batched
+relation transform producing every edge message (block or stacked
+kernel, whichever transforms fewer rows), one multiply by the
+precomputed ``1/c_{v,r}`` column, and ONE ``scatter_sum`` over all
+relations' edges. ``use_fused_relations(False)`` restores the
+per-relation loop — the differential baseline.
 """
 
 from __future__ import annotations
@@ -9,8 +18,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gnn.message_passing import GraphContext
-from repro.nn import Linear, Module, ModuleList
-from repro.tensor import Tensor, gather_rows, scatter_mean
+from repro.nn import Linear, Module, RelationLinear
+from repro.tensor import (
+    Tensor,
+    fused_relations_enabled,
+    gather_rows,
+    scatter_mean,
+)
 
 
 class RGCNLayer(Module):
@@ -26,8 +40,8 @@ class RGCNLayer(Module):
             raise ValueError("num_relations must be >= 1")
         self.num_relations = num_relations
         self.self_loop = Linear(in_dim, out_dim, rng=rng)
-        self.relation_linears = ModuleList(
-            Linear(in_dim, out_dim, bias=False, rng=rng) for _ in range(num_relations)
+        self.relation_linear = RelationLinear(
+            in_dim, out_dim, num_relations, bias=False, rng=rng
         )
 
     def forward(self, x: Tensor, ctx: GraphContext) -> Tensor:
@@ -37,12 +51,25 @@ class RGCNLayer(Module):
                 f"context has {ctx.num_relations}"
             )
         out = self.self_loop(x)
+        if fused_relations_enabled():
+            fusion = ctx.relation_fusion(self.num_relations)
+            if fusion.num_edges:
+                if fusion.prefer_block(len(x)):
+                    messages = self.relation_linear.edge_messages(
+                        x, fusion, path="block"
+                    )
+                    out = out + fusion.weighted_scatter(messages)
+                else:
+                    out = out + fusion.collect(
+                        self.relation_linear(x), weighted=True
+                    )
+            return out
         for relation in range(self.num_relations):
             src, dst = ctx.relation_edges(relation)
             if len(src) == 0:
                 continue
             src_plan, dst_plan = ctx.relation_plans(relation)
-            transformed = self.relation_linears[relation](x)
+            transformed = self.relation_linear.single(x, relation)
             messages = gather_rows(transformed, src, plan=src_plan)
             out = out + scatter_mean(messages, dst, ctx.num_nodes, plan=dst_plan)
         return out

@@ -11,14 +11,14 @@ import numpy as np
 
 from repro.gnn.message_passing import GraphContext
 from repro.nn import MLP, Module
-from repro.tensor import Tensor, gather_rows, scatter_sum
+from repro.tensor import Tensor, gather_rows, get_default_dtype, scatter_sum
 
 
 class VirtualNodeState:
     """Holds the per-graph virtual embedding across layers of one pass."""
 
     def __init__(self, num_graphs: int, dim: int):
-        self.embedding = Tensor(np.zeros((num_graphs, dim)))
+        self.embedding = Tensor(np.zeros((num_graphs, dim), dtype=get_default_dtype()))
 
 
 class VirtualNodeExchange(Module):

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.tensor import get_default_dtype
+
 
 @dataclass
 class GraphData:
@@ -50,7 +52,9 @@ class GraphData:
     meta: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.node_features = np.asarray(self.node_features, dtype=np.float64)
+        # Model *inputs* adopt the global precision policy (float32 by
+        # default); targets/labels stay float64 for metric accuracy.
+        self.node_features = np.asarray(self.node_features, dtype=get_default_dtype())
         self.edge_index = np.asarray(self.edge_index, dtype=np.int64).reshape(2, -1)
         self.edge_type = np.asarray(self.edge_type, dtype=np.int64).reshape(-1)
         self.edge_back = np.asarray(self.edge_back, dtype=np.int64).reshape(-1)
@@ -59,7 +63,9 @@ class GraphData:
         if self.node_labels is not None:
             self.node_labels = np.asarray(self.node_labels, dtype=np.float64)
         if self.node_resources is not None:
-            self.node_resources = np.asarray(self.node_resources, dtype=np.float64)
+            self.node_resources = np.asarray(
+                self.node_resources, dtype=get_default_dtype()
+            )
 
     @property
     def num_nodes(self) -> int:

@@ -8,6 +8,7 @@ helper (the paper's 300-600-300-1 regression head is an :class:`MLP`).
 from repro.nn.module import Module, Parameter
 from repro.nn.container import ModuleList, Sequential
 from repro.nn.linear import Linear
+from repro.nn.relation_linear import RelationLinear
 from repro.nn.embedding import Embedding
 from repro.nn.activations import ELU, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.dropout import Dropout
@@ -21,6 +22,7 @@ __all__ = [
     "ModuleList",
     "Sequential",
     "Linear",
+    "RelationLinear",
     "Embedding",
     "ELU",
     "LeakyReLU",

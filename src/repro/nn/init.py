@@ -1,9 +1,14 @@
-"""Parameter initialisation schemes (Glorot/Kaiming/uniform/zeros)."""
+"""Parameter initialisation schemes (Glorot/Kaiming/uniform/zeros).
+
+All initialisers emit arrays in :func:`repro.tensor.get_default_dtype`
+(float32 by default) — the precision policy starts at the parameters.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import get_default_dtype
 from repro.utils.rng import default_rng
 
 
@@ -14,7 +19,7 @@ def xavier_uniform(
     rng = rng if rng is not None else default_rng()
     fan_in, fan_out = _fans(shape)
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype())
 
 
 def kaiming_uniform(
@@ -24,22 +29,22 @@ def kaiming_uniform(
     rng = rng if rng is not None else default_rng()
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype())
 
 
 def uniform(
     shape: tuple[int, ...], bound: float, rng: np.random.Generator | None = None
 ) -> np.ndarray:
     rng = rng if rng is not None else default_rng()
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype())
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -6,14 +6,16 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor
+from repro.tensor import Tensor, addmm
 
 
 class Linear(Module):
     """``y = x @ W + b`` with Glorot-uniform weights.
 
     ``weight`` is stored as ``[in_features, out_features]`` so the forward
-    pass is a plain matmul with no transpose.
+    pass is a plain matmul with no transpose. Forward runs through the
+    fused :func:`repro.tensor.addmm` kernel: one autograd node for the
+    matmul + bias instead of two.
     """
 
     def __init__(
@@ -32,10 +34,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return addmm(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return (

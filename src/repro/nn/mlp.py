@@ -10,12 +10,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn.activations import ReLU
+from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.container import ModuleList
 from repro.nn.dropout import Dropout
 from repro.nn.linear import Linear
 from repro.nn.module import Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, linear_act
+
+#: Activation modules whose hidden-layer application can fuse with the
+#: preceding Linear into one autograd node (see repro.tensor.linear_act).
+_FUSABLE_ACTIVATIONS = {ReLU: "relu", Tanh: "tanh", Sigmoid: "sigmoid"}
 
 
 class MLP(Module):
@@ -47,15 +51,19 @@ class MLP(Module):
         )
         self.activation = activation()
         self.dropout = Dropout(dropout) if dropout > 0 else None
+        self._fused_act = _FUSABLE_ACTIVATIONS.get(type(self.activation))
 
     def forward(self, x: Tensor) -> Tensor:
         last = len(self.layers) - 1
         for i, layer in enumerate(self.layers):
-            x = layer(x)
-            if i != last:
-                x = self.activation(x)
-                if self.dropout is not None:
-                    x = self.dropout(x)
+            if i != last and self._fused_act is not None:
+                x = linear_act(x, layer.weight, layer.bias, self._fused_act)
+            else:
+                x = layer(x)
+                if i != last:
+                    x = self.activation(x)
+            if i != last and self.dropout is not None:
+                x = self.dropout(x)
         return x
 
     def __repr__(self) -> str:

@@ -6,12 +6,17 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, get_default_dtype
 
 
 def Parameter(data) -> Tensor:
-    """Wrap an array as a trainable tensor."""
-    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+    """Wrap an array as a trainable tensor in the default dtype.
+
+    Parameters define the model's compute precision, so they always
+    follow the global policy (float32 unless
+    :func:`repro.tensor.set_default_dtype` says otherwise).
+    """
+    return Tensor(np.asarray(data, dtype=get_default_dtype()), requires_grad=True)
 
 
 class Module:
@@ -101,7 +106,9 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's own dtype: a float32 model restores
+            # float32 weights bitwise; legacy float64 archives downcast.
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
             if parameter.data.shape != value.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor
+from repro.tensor import Tensor, get_default_dtype
 
 
 class BatchNorm1d(Module):
@@ -22,8 +22,8 @@ class BatchNorm1d(Module):
         self.momentum = momentum
         self.gamma = Parameter(np.ones(num_features))
         self.beta = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = np.zeros(num_features, dtype=get_default_dtype())
+        self.running_var = np.ones(num_features, dtype=get_default_dtype())
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.num_features:

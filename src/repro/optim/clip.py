@@ -16,12 +16,14 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
-    grads = [p.grad for p in parameters if p.grad is not None]
-    if not grads:
+    clipped = [p for p in parameters if p.grad is not None]
+    if not clipped:
         return 0.0
-    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in clipped)))
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
-        for grad in grads:
-            grad *= scale
+        for p in clipped:
+            # Replace rather than scale in place: with first-gradient
+            # ownership a ``.grad`` buffer may be shared with another node.
+            p.grad = p.grad * scale
     return total

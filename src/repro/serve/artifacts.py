@@ -4,15 +4,19 @@ An artifact is a directory::
 
     <artifact>/
         manifest.json   # schema version, approach, config, dims, extras
-        weights.npz     # flat Module.state_dict() (float64 arrays)
+        weights.npz     # flat Module.state_dict() (dtype-preserving)
 
 The manifest carries everything needed to rebuild the network *untrained*
 (:class:`~repro.models.base.PredictorConfig`, input widths, approach
 kind, feature view); the weights restore it bitwise — the round-trip
-contract of :meth:`repro.nn.module.Module.state_dict`. All three
-approaches serialise through the same two files; the hierarchical
-predictor's two stages share one archive via ``node.`` / ``graph.`` key
-prefixes.
+contract of :meth:`repro.nn.module.Module.state_dict`. ``weights.npz``
+preserves each parameter's dtype exactly (float32 under the default
+precision policy, float64 for models built under
+``default_dtype(np.float64)``); on load, arrays are cast to the dtype of
+the freshly built skeleton's parameters, so a same-policy round-trip is
+bitwise. All three approaches serialise through the same two files; the
+hierarchical predictor's two stages share one archive via ``node.`` /
+``graph.`` key prefixes.
 """
 
 from __future__ import annotations
@@ -32,7 +36,10 @@ from repro.training.trainer import TrainConfig
 from repro.version import __version__
 
 #: Bump when the manifest layout or weight key scheme changes.
-SCHEMA_VERSION = 1
+#: v2: relational layers batched their per-relation Linear stacks into
+#: single RelationLinear parameters (``relation_linears.0.weight`` ->
+#: ``relation_linear.weight``), and archives are float32 by default.
+SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 WEIGHTS_NAME = "weights.npz"

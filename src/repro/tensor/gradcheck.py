@@ -8,6 +8,21 @@ import numpy as np
 
 from repro.tensor.tensor import Tensor
 
+#: Central-difference step and comparison tolerances per input precision.
+#: float64 supports a 1e-6 probe; float32 arithmetic drowns that step in
+#: rounding noise, so the probe and the acceptance band both widen.
+_DTYPE_DEFAULTS = {
+    np.dtype(np.float64): {"eps": 1e-6, "atol": 1e-4, "rtol": 1e-4},
+    np.dtype(np.float32): {"eps": 1e-2, "atol": 1e-2, "rtol": 1e-2},
+}
+
+
+def _defaults_for(inputs: Sequence[Tensor]) -> dict:
+    """Tolerance preset for the lowest-precision input."""
+    dtypes = [np.dtype(t.dtype) for t in inputs]
+    key = min(dtypes, key=lambda d: np.finfo(d).precision, default=np.dtype(np.float64))
+    return _DTYPE_DEFAULTS.get(key, _DTYPE_DEFAULTS[np.dtype(np.float32)])
+
 
 def numerical_grad(
     fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6
@@ -30,16 +45,24 @@ def numerical_grad(
 def gradcheck(
     fn: Callable[[], Tensor],
     inputs: Sequence[Tensor],
-    eps: float = 1e-6,
-    atol: float = 1e-4,
-    rtol: float = 1e-4,
+    eps: float | None = None,
+    atol: float | None = None,
+    rtol: float | None = None,
 ) -> bool:
     """Verify autograd gradients of ``sum(fn())`` against finite differences.
 
     ``fn`` must be a thunk re-running the computation from ``inputs`` (so
-    the numerical probe sees perturbed values). Raises ``AssertionError``
-    with a diagnostic on mismatch; returns ``True`` otherwise.
+    the numerical probe sees perturbed values). ``eps``/``atol``/``rtol``
+    default to a preset keyed on the lowest input precision: float64 gets
+    the tight classic 1e-6/1e-4 check, float32 a coarser probe and band
+    (finite differences in float32 carry ~1e-3 relative noise). Raises
+    ``AssertionError`` with a diagnostic on mismatch; returns ``True``
+    otherwise.
     """
+    defaults = _defaults_for(inputs)
+    eps = defaults["eps"] if eps is None else eps
+    atol = defaults["atol"] if atol is None else atol
+    rtol = defaults["rtol"] if rtol is None else rtol
     for tensor in inputs:
         tensor.zero_grad()
     out = fn()

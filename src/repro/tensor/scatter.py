@@ -145,8 +145,10 @@ class SegmentPlan:
         """
         if self._csr is None and _sparse is not None:
             cols = self.order if self.order is not None else np.arange(self.size)
+            # float32 ones: exact for both float32 and float64 operands, and
+            # keeps float32 values from being silently promoted to float64.
             self._csr = _sparse.csr_matrix(
-                (np.ones(self.size), cols, self._indptr),
+                (np.ones(self.size, dtype=np.float32), cols, self._indptr),
                 shape=(self.dim_size, self.size),
             )
         return self._csr
@@ -276,7 +278,8 @@ def scatter_mean(
     total = scatter_sum(src, index, dim_size, plan=plan, validated=validated)
     raw = plan.counts if plan is not None else segment_counts(index, dim_size)
     counts = np.maximum(raw, 1.0).reshape((dim_size,) + (1,) * (src.ndim - 1))
-    return total / Tensor(counts)
+    # Divide in the source dtype so float32 inputs stay float32.
+    return total / Tensor(counts.astype(src.data.dtype, copy=False))
 
 
 def _scatter_extremum(

@@ -7,6 +7,25 @@ that, given the output gradient, accumulates gradients into its parents.
 
 Only floating-point data lives in tensors. Integer index arrays (edge
 indices, batch vectors, ...) are passed around as plain ``numpy`` arrays.
+
+Precision policy
+----------------
+Tensors built from python scalars, lists or integer data adopt the
+process-wide *default dtype* (``float32`` out of the box — halving the
+memory traffic of the dense hot path); numpy arrays with an explicit
+floating dtype are taken as-is. :func:`set_default_dtype` flips the
+policy globally and :func:`default_dtype` scopes it to a block::
+
+    with default_dtype(np.float64):
+        ...  # parameters, features and context tables built here are f64
+
+Parameter initialisation (:mod:`repro.nn.init`), dataset feature
+encoding (:class:`repro.graph.data.GraphData`), trainer targets and the
+per-batch topology tables of
+:class:`~repro.gnn.message_passing.GraphContext` all follow the policy,
+so the stack computes end-to-end in the default dtype. Gradient checking
+stays in float64 by constructing explicit ``float64`` arrays (what the
+test suite does) or by wrapping the check in ``default_dtype(np.float64)``.
 """
 
 from __future__ import annotations
@@ -17,6 +36,33 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 _GRAD_ENABLED = True
+
+_DEFAULT_DTYPE = np.dtype(np.float32)
+
+
+def get_default_dtype() -> np.dtype:
+    """The floating dtype adopted by data without an explicit float dtype."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide default floating dtype (float32 or float64)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if not np.issubdtype(dtype, np.floating):
+        raise ValueError(f"default dtype must be floating, got {dtype}")
+    _DEFAULT_DTYPE = dtype
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Scope a different precision policy to a block (e.g. f64 gradchecks)."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def is_grad_enabled() -> bool:
@@ -54,13 +100,33 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def stable_sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a raw array.
+
+    Shared by :meth:`Tensor.sigmoid` and the fused linear+activation
+    kernel so the two paths cannot drift numerically.
+    """
+    clipped = np.clip(values, -60, 60)
+    return np.where(
+        values >= 0,
+        1.0 / (1.0 + np.exp(-clipped)),
+        np.exp(clipped) / (1.0 + np.exp(clipped)),
+    )
+
+
 def _as_array(value) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got a Tensor")
+    if isinstance(value, np.ndarray):
+        # Explicit numpy floating dtypes are respected (float64 gradchecks
+        # coexist with a float32 default policy); everything else adopts it.
+        if np.issubdtype(value.dtype, np.floating):
+            return value
+        return value.astype(_DEFAULT_DTYPE)
     arr = np.asarray(value)
-    if not np.issubdtype(arr.dtype, np.floating):
-        arr = arr.astype(np.float64)
-    return arr
+    if arr.dtype == _DEFAULT_DTYPE:
+        return arr
+    return arr.astype(_DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -76,7 +142,15 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward",
+        "_grad_owned",
+        "name",
+    )
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
@@ -84,6 +158,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: tuple[Tensor, ...] = ()
         self._backward: Callable[[np.ndarray], None] | None = None
+        self._grad_owned = False
         self.name = name
 
     # ------------------------------------------------------------------
@@ -117,11 +192,16 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, "
+                f"got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but cut from the autograd graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, name=self.name)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -139,6 +219,7 @@ class Tensor:
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
+        out._grad_owned = False
         out.name = ""
         needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out.requires_grad = needs
@@ -151,9 +232,25 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # Single-consumer fast path: adopt the incoming buffer outright —
+        # no zeros_like + add. The buffer may alias another node's gradient
+        # (ops like ``add`` pass their output grad through untouched), so an
+        # adopted gradient is never mutated in place; a second accumulation
+        # allocates a fresh owned buffer, and only that one is added into.
+        # Adopted buffers are frozen so external in-place writes to
+        # ``.grad`` (the old ``p.grad *= s`` idiom) fail loudly instead of
+        # corrupting a sibling's gradient; consumers must replace rather
+        # than mutate (see ``clip_grad_norm``).
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            if isinstance(grad, np.ndarray):
+                grad.flags.writeable = False
+            self.grad = grad  # numpy scalars are immutable — safe as-is
+            self._grad_owned = False
+        elif self._grad_owned:
+            self.grad += grad
+        else:
+            self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode differentiation from this tensor.
@@ -180,10 +277,19 @@ class Tensor:
                     stack.append((parent, False))
         if grad is None:
             grad = np.ones_like(self.data)
-        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        else:
+            # Copy the caller's seed: leaves may adopt the accumulation
+            # buffer outright, and it must not alias caller-owned memory.
+            grad = np.array(grad, dtype=self.data.dtype)
+        self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                # The buffer escaped into the closures (pass-through ops
+                # adopt it); it is no longer exclusively ours to mutate.
+                # A later backward() without zero_grad falls back to the
+                # out-of-place accumulation.
+                node._grad_owned = False
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -296,7 +402,9 @@ class Tensor:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            # Read-only broadcast view: safe to adopt, _accumulate never
+            # mutates an unowned buffer in place.
+            self._accumulate(np.broadcast_to(g, self.shape))
 
         return Tensor._make(data, (self,), backward)
 
@@ -439,13 +547,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        data = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60))),
-            np.exp(np.clip(self.data, -60, 60))
-            / (1.0 + np.exp(np.clip(self.data, -60, 60))),
-        )
+        data = stable_sigmoid(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

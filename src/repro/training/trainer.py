@@ -24,7 +24,7 @@ from repro.gnn.network import GraphRegressor, NodeClassifier
 from repro.graph.batch import Batch, iter_batches
 from repro.graph.data import GraphData
 from repro.optim import Adam, clip_grad_norm
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, get_default_dtype, no_grad
 from repro.training.losses import bce_with_logits, mse_loss
 from repro.training.metrics import binary_accuracy, mape
 
@@ -55,7 +55,9 @@ class TrainResult:
 def _target_matrix(batch: Batch) -> np.ndarray:
     if batch.y is None:
         raise ValueError("batch lacks graph targets")
-    return np.log1p(batch.y)
+    # Loss targets follow the model's precision policy so a float32
+    # forward is not silently promoted to float64 by the loss.
+    return np.log1p(batch.y).astype(get_default_dtype())
 
 
 def _forward_batches(
@@ -211,7 +213,7 @@ def train_node_classifier(
     rng = np.random.default_rng(config.seed)
     batches = list(iter_batches(train_graphs, config.batch_size, rng))
     val_batches = list(iter_batches(val_graphs, 64))
-    targets = [Tensor(b.node_labels) for b in batches]
+    targets = [Tensor(b.node_labels.astype(get_default_dtype())) for b in batches]
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
     best = (0, -np.inf, model.state_dict())
     history = []

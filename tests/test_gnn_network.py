@@ -153,4 +153,6 @@ class TestHeads:
         model.eval()
         a = model(Batch([graph])).data
         b = model(Batch([permuted])).data
-        np.testing.assert_allclose(a, b, atol=1e-8)
+        # Equivariance is exact up to summation order; float32 (the
+        # default policy) leaves ~1e-7 reordering noise.
+        np.testing.assert_allclose(a, b, atol=1e-6)

@@ -18,6 +18,7 @@ from repro.graph.batch import Batch
 from repro.tensor import (
     SegmentPlan,
     Tensor,
+    default_dtype,
     gather_rows,
     gradcheck,
     plans_enabled,
@@ -179,20 +180,26 @@ def _model_step(model, batch):
 @pytest.mark.parametrize("model_name", ["gcn", "rgcn", "gat", "pna"])
 @pytest.mark.parametrize("batch_slice", [slice(0, 1), slice(0, 6)])
 def test_model_forward_backward_parity(dfg_samples, model_name, batch_slice):
-    """Whole-network parity, single- and multi-graph batches."""
-    batch = Batch(dfg_samples[batch_slice])
-    model = GraphRegressor(
-        model_name,
-        in_dim=batch.feature_dim,
-        hidden_dim=8,
-        num_layers=2,
-        num_edge_types=TYPES,
-        rng=np.random.default_rng(3),
-    )
-    with use_plans(True):
-        planned_out, planned_grads = _model_step(model, batch)
-    with use_plans(False):
-        fallback_out, fallback_grads = _model_step(model, batch)
+    """Whole-network parity, single- and multi-graph batches.
+
+    Pinned to float64: the comparison probes *kernel* equivalence
+    (planned vs fallback scatter), so float32 summation-order noise must
+    not drown the 1e-7 band.
+    """
+    with default_dtype(np.float64):
+        batch = Batch(dfg_samples[batch_slice])
+        model = GraphRegressor(
+            model_name,
+            in_dim=batch.feature_dim,
+            hidden_dim=8,
+            num_layers=2,
+            num_edge_types=TYPES,
+            rng=np.random.default_rng(3),
+        )
+        with use_plans(True):
+            planned_out, planned_grads = _model_step(model, batch)
+        with use_plans(False):
+            fallback_out, fallback_grads = _model_step(model, batch)
     np.testing.assert_allclose(planned_out, fallback_out, atol=1e-8)
     assert planned_grads.keys() == fallback_grads.keys()
     for name in planned_grads:
