@@ -17,7 +17,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import throughput_summary
+from benchmarks.conftest import throughput_summary, write_bench_json
 from repro.dataset import build_synthetic_dataset
 from repro.experiments.common import predictor_config
 from repro.models import OffTheShelfPredictor
@@ -64,8 +64,11 @@ def test_serve_throughput(benchmark, served):
     timings, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
     summary = throughput_summary(timings, len(requests))
     summary["stats"] = stats.as_dict()
+    path = write_bench_json("serve", summary)
     print()
     print(json.dumps(summary, indent=2))
+    if path:
+        print(f"wrote {path}")
     benchmark.extra_info.update(summary)
 
     # Acceptance: fused batches beat one-graph-at-a-time, and the cache

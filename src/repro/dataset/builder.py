@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dataset.features import FeatureEncoder
+from repro.dataset.features import FeatureEncoder, directive_features
 from repro.frontend.ast_ import Program
 from repro.frontend.lower import lower_program
 from repro.graph.data import GraphData
 from repro.graph.validation import validate_graph
 from repro.hls.flow import HLSResult, run_hls
+from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
 from repro.ir.cdfg import extract_cdfg
 from repro.ir.dfg import extract_dfg
 from repro.ir.graph import IRGraph
@@ -63,11 +64,19 @@ def build_graph(
     kind: str | None = None,
     encoder: FeatureEncoder | None = None,
     meta: dict | None = None,
+    device: DeviceModel = DEFAULT_DEVICE,
 ) -> GraphData:
-    """Compile, synthesise and encode a single program."""
+    """Compile, synthesise and encode a single program.
+
+    Loop directives on the AST (``For.unroll`` / ``For.pipeline``) are
+    honoured end-to-end: the HLS flow applies them when labelling and the
+    encoder exposes them as directive feature columns, so the model can
+    learn the pragma -> QoR mapping. ``device`` selects the target clock
+    (a DSE knob); it reaches both the flow and the clock feature column.
+    """
     encoder = encoder or FeatureEncoder()
     function, graph, kind = lower_and_extract(program, kind)
-    hls = run_hls(function)
+    hls = run_hls(function, device=device)
     values, types = per_node_arrays(graph, hls)
     sample_meta = {"name": program.name, "kind": kind}
     if meta:
@@ -77,10 +86,14 @@ def build_graph(
         y=hls.impl.as_array(),
         node_labels=types,
         node_resources=values,
+        directives=directive_features(function, graph, device=device),
         meta=sample_meta,
     )
-    # The biased HLS report rides along for the Table-5 baseline.
+    # The biased HLS report rides along for the Table-5 baseline; the
+    # latency estimate feeds the DSE objectives.
     sample.meta["hls_report"] = hls.report.as_array().tolist()
+    if hls.latency is not None:
+        sample.meta["latency_cycles"] = hls.latency.cycles
     validate_graph(sample)
     return sample
 

@@ -8,7 +8,17 @@ matrix. The encoding per node:
 - opcode type — one-hot over the LLVM-based categories;
 - opcode — one-hot over the opcode vocabulary;
 - is start of path — 1 when the node has no incoming DATA edge;
-- cluster group — scaled numeric plus a "misc" (-1) indicator.
+- cluster group — scaled numeric plus a "misc" (-1) indicator;
+- HLS directives — log2 of the explicit per-block unroll factor, a
+  pipelined-loop bit and the target-clock ratio (all zero when no
+  directives apply, so the base encoding is unchanged for plain
+  programs).
+
+The directive block mirrors GNN-DSE-style pragma encoding: *explicit*
+design knobs (the pragmas a design-space explorer sweeps) are visible to
+the model, while the flow's own small-loop unrolling heuristic stays
+hidden — inferring that from constant nodes remains part of the paper's
+learning problem.
 
 Knowledge-rich runs append per-node resource *values* (DSP raw,
 log1p LUT, log1p FF); knowledge-infused runs append the three binary
@@ -40,6 +50,103 @@ _CATEGORY_INDEX = {c: i for i, c in enumerate(OPCODE_CATEGORIES)}
 #: 4 structural edge types x {normal, back}.
 NUM_EDGE_TYPES_WITH_BACK = 2 * len(EdgeType)
 
+#: Directive feature columns: (log2 unroll, pipelined, clock ratio).
+DIRECTIVE_DIM = 3
+
+
+def directive_features(
+    function,
+    graph: IRGraph,
+    device=None,
+    unroll_overrides: dict[str, int] | None = None,
+    pipeline_overrides: dict[str, bool] | None = None,
+    loops=None,
+) -> np.ndarray:
+    """Per-node directive columns for ``graph`` extracted from ``function``.
+
+    Columns: ``log2(explicit unroll factor) / log2(64)`` for nodes inside
+    explicitly unrolled loops, a 0/1 pipelined-loop bit, and a uniform
+    target-clock column (``period / default - 1``, zero at the default
+    clock). Only *explicit* directives (``function.loop_directives`` or
+    the override arguments, both keyed by loop header block name) are
+    encoded — heuristic unrolling stays invisible, as in the paper.
+
+    ``loops`` may carry a precomputed ``analyze_loops(function)`` result;
+    the DSE fast path re-encodes hundreds of directive configurations of
+    one function and skips the repeated CFG analysis that way.
+    """
+    from repro.hls.loops import (
+        MAX_DIRECTIVE_FACTOR,
+        analyze_loops,
+        loop_unroll_factor,
+    )
+    from repro.hls.resource_library import DEFAULT_DEVICE
+
+    device = device or DEFAULT_DEVICE
+    directives = getattr(function, "loop_directives", {})
+    unroll_overrides = unroll_overrides or {}
+
+    if loops is None:
+        loops = analyze_loops(function)
+    # A block is owned by its *innermost* enclosing loop (smallest block
+    # set containing it); the pipeline bit marks exactly the owner's
+    # flag, so "outer pipelined" and "outer + inner pipelined" encode
+    # differently. The unroll column stays multiplicative over the whole
+    # nest, mirroring the datapath replication the flow applies.
+    owner: dict[str, str] = {}
+    for loop in sorted(loops, key=lambda lp: len(lp.blocks)):
+        for name in loop.blocks:
+            owner.setdefault(name, loop.header)
+
+    block_factor: dict[str, int] = {}
+    pipelined_loops: set[str] = set()
+    for loop in loops:
+        explicit = loop.header in unroll_overrides or (
+            loop.header in directives
+            and directives[loop.header].unroll is not None
+        )
+        if pipeline_overrides is not None and loop.header in pipeline_overrides:
+            pipelined = bool(pipeline_overrides[loop.header])
+        else:
+            directive = directives.get(loop.header)
+            pipelined = directive.pipeline if directive is not None else False
+        if pipelined:
+            pipelined_loops.add(loop.header)
+        factor = (
+            loop_unroll_factor(loop, directives, unroll_overrides)
+            if explicit
+            else 1
+        )
+        if factor > 1:
+            for name in loop.blocks:
+                block_factor[name] = min(
+                    MAX_DIRECTIVE_FACTOR, block_factor.get(name, 1) * factor
+                )
+    block_pipelined = {
+        name for name, header in owner.items() if header in pipelined_loops
+    }
+
+    block_of: dict[int, str] = {
+        inst.id: inst.block for inst in function.instructions()
+    }
+    features = np.zeros((graph.num_nodes, DIRECTIVE_DIM))
+    features[:, 2] = device.clock_period_ns / DEFAULT_DEVICE.clock_period_ns - 1.0
+    if not block_factor and not block_pipelined:
+        return features
+    log_cap = np.log2(MAX_DIRECTIVE_FACTOR)
+    for node in graph.nodes:
+        name = block_of.get(node.instruction_id)
+        if name is None and node.kind == NodeType.BLOCK:
+            name = node.label
+        if name is None:
+            continue
+        factor = block_factor.get(name, 1)
+        if factor > 1:
+            features[node.index, 0] = np.log2(factor) / log_cap
+        if name in block_pipelined:
+            features[node.index, 1] = 1.0
+    return features
+
 
 class FeatureEncoder:
     """Encodes :class:`IRGraph` into :class:`GraphData`.
@@ -65,6 +172,7 @@ class FeatureEncoder:
             + len(_OPCODES)
             + 1
             + 2
+            + DIRECTIVE_DIM
         )
 
     @property
@@ -76,11 +184,21 @@ class FeatureEncoder:
             dim += 3
         return dim
 
+    @property
+    def directive_slice(self) -> slice:
+        """Column range of the directive block (last three base columns).
+
+        The DSE fast path re-encodes only these columns per design point
+        instead of rebuilding the whole feature matrix.
+        """
+        return slice(self.base_dim - DIRECTIVE_DIM, self.base_dim)
+
     def encode_nodes(
         self,
         graph: IRGraph,
         node_resources: np.ndarray | None = None,
         node_types: np.ndarray | None = None,
+        directives: np.ndarray | None = None,
     ) -> np.ndarray:
         n = graph.num_nodes
         features = np.zeros((n, self.feature_dim))
@@ -91,7 +209,8 @@ class FeatureEncoder:
         col_op = col_cat + len(OPCODE_CATEGORIES)
         col_start = col_op + len(_OPCODES)
         col_cluster = col_start + 1
-        col_extra = col_cluster + 2
+        col_directive = col_cluster + 2
+        col_extra = col_directive + DIRECTIVE_DIM
         for node in graph.nodes:
             i = node.index
             features[i, col_ntype + int(node.kind)] = 1.0
@@ -104,6 +223,13 @@ class FeatureEncoder:
                 features[i, col_cluster + 1] = 1.0
             else:
                 features[i, col_cluster] = min(node.cluster, 256) / 16.0
+        if directives is not None:
+            if directives.shape != (n, DIRECTIVE_DIM):
+                raise ValueError(
+                    f"directive features must be [{n}, {DIRECTIVE_DIM}], "
+                    f"got {tuple(directives.shape)}"
+                )
+            features[:, col_directive : col_directive + DIRECTIVE_DIM] = directives
         cursor = col_extra
         if self.with_resource_values:
             if node_resources is None:
@@ -130,6 +256,7 @@ class FeatureEncoder:
         y: np.ndarray | None = None,
         node_labels: np.ndarray | None = None,
         node_resources: np.ndarray | None = None,
+        directives: np.ndarray | None = None,
         meta: dict | None = None,
     ) -> GraphData:
         """Full encoding of one sample (features, edges, labels)."""
@@ -137,6 +264,7 @@ class FeatureEncoder:
             graph,
             node_resources=node_resources,
             node_types=node_labels if self.with_resource_types else None,
+            directives=directives,
         )
         edge_index, edge_type, edge_back = self.encode_edges(graph)
         return GraphData(

@@ -1,0 +1,336 @@
+"""Command line for design-space exploration.
+
+Examples::
+
+    python -m repro.dse space --suite machsuite --kernel ms_backprop
+    python -m repro.dse explore --suite machsuite --kernel ms_aes \
+        --strategy greedy --budget 64
+    python -m repro.dse explore --ldrgen-seed 7 --strategy evolutionary \
+        --backend both --json /tmp/dse.json
+    python -m repro.dse explore --suite polybench --kernel pb_gemm \
+        --registry model-registry --model rgcn-off_the_shelf
+
+Without ``--registry`` a quick off-the-shelf predictor is trained
+in-process on synthetic CDFGs at the active ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.dse.evaluate import GroundTruthEvaluator, PredictorEvaluator
+from repro.dse.pareto import adrs
+from repro.dse.space import DesignSpace
+from repro.dse.strategies import STRATEGIES, ExplorationResult, explore
+from repro.utils.tables import format_table
+
+
+def _parse_factors(text: str) -> tuple[int, ...]:
+    try:
+        factors = tuple(sorted({int(part) for part in text.split(",") if part}))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad unroll list {text!r}") from exc
+    if not factors or any(f < 1 for f in factors):
+        raise argparse.ArgumentTypeError("unroll factors must be >= 1")
+    return factors
+
+
+def _parse_clocks(text: str) -> tuple[float, ...]:
+    try:
+        clocks = tuple(float(part) for part in text.split(",") if part)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad clock list {text!r}") from exc
+    if not clocks or any(c <= 0 for c in clocks):
+        raise argparse.ArgumentTypeError("clock periods must be positive")
+    return clocks
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="Predictor-guided design-space exploration.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    def add_kernel_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--suite", help="suite name (machsuite/chstone/polybench)")
+        sub.add_argument("--kernel", help="kernel program name within the suite")
+        sub.add_argument(
+            "--ldrgen-seed",
+            type=int,
+            default=None,
+            help="explore a synthetic ldrgen CDFG program instead of a suite kernel",
+        )
+        sub.add_argument("--unroll", type=_parse_factors, default=(1, 2, 4, 8))
+        sub.add_argument("--clock", type=_parse_clocks, default=(10.0,))
+        sub.add_argument(
+            "--no-pipeline",
+            action="store_true",
+            help="drop the per-loop pipeline knob from the space",
+        )
+
+    space_p = verbs.add_parser("space", help="describe a kernel's design space")
+    add_kernel_args(space_p)
+
+    explore_p = verbs.add_parser("explore", help="search a kernel's design space")
+    add_kernel_args(explore_p)
+    explore_p.add_argument("--strategy", choices=sorted(STRATEGIES), default="greedy")
+    explore_p.add_argument("--budget", type=int, default=None)
+    explore_p.add_argument("--batch-size", type=int, default=64)
+    explore_p.add_argument("--seed", type=int, default=0)
+    explore_p.add_argument(
+        "--backend",
+        choices=["predictor", "hls", "both"],
+        default="both",
+        help="'both' searches with the predictor and scores its frontier "
+        "against ground truth (ADRS when the space is small enough)",
+    )
+    explore_p.add_argument(
+        "--adrs-limit",
+        type=int,
+        default=512,
+        help="max space size for the exhaustive ground-truth reference",
+    )
+    explore_p.add_argument("--registry", help="load the predictor from this registry")
+    explore_p.add_argument(
+        "--model", default=None, help="registry model name (default: latest listed)"
+    )
+    explore_p.add_argument(
+        "--arch",
+        default="gcn",
+        help="GNN architecture when training in-process (default gcn — the "
+        "throughput-oriented serving choice; see BENCH_dse.json)",
+    )
+    explore_p.add_argument("--json", help="write the full result as JSON here")
+    return parser
+
+
+def resolve_kernel(args: argparse.Namespace):
+    """The program named by --suite/--kernel or --ldrgen-seed."""
+    if args.ldrgen_seed is not None:
+        from repro.ldrgen.config import GeneratorConfig
+        from repro.ldrgen.generator import generate_program
+
+        return generate_program(GeneratorConfig(mode="cdfg"), seed=args.ldrgen_seed)
+    if not args.suite or not args.kernel:
+        raise SystemExit("need --suite and --kernel (or --ldrgen-seed)")
+    from repro.suites.registry import suite_programs
+
+    programs = {program.name: program for program in suite_programs(args.suite)}
+    program = programs.get(args.kernel)
+    if program is None:
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r} in {args.suite}; "
+            f"available: {', '.join(sorted(programs))}"
+        )
+    return program
+
+
+def build_space(args: argparse.Namespace) -> DesignSpace:
+    program = resolve_kernel(args)
+    return DesignSpace.from_program(
+        program,
+        unroll_options=args.unroll,
+        allow_pipeline=not args.no_pipeline,
+        clock_options=args.clock,
+    )
+
+
+def load_or_train_predictor(args: argparse.Namespace):
+    if args.registry:
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        name = args.model
+        if name is None:
+            models = registry.list_models()
+            if not models:
+                raise SystemExit(f"registry {args.registry!r} is empty")
+            name = models[0]
+        print(f"loading predictor {name!r} from {args.registry} ...")
+        predictor = registry.load(name)
+        if getattr(predictor, "feature_view", "base") != "base":
+            raise SystemExit(
+                f"model {name!r} uses the {predictor.feature_view!r} feature "
+                "view; DSE scoring needs a base-view (off-the-shelf) model"
+            )
+        return predictor
+    from repro.experiments.common import get_scale
+    from repro.experiments.publish import train_predictor
+
+    scale = get_scale()
+    print(
+        f"training a quick off-the-shelf {args.arch} predictor on synthetic "
+        f"CDFGs (scale '{scale.name}'; pass --registry to reuse a published "
+        f"model) ..."
+    )
+    predictor, metrics = train_predictor(
+        "off_the_shelf", scale, model_name=args.arch, mode="cdfg"
+    )
+    print(f"trained: test MAPE {metrics['test_mape_mean']:.3f}")
+    return predictor
+
+
+def frontier_table(result: ExplorationResult, truth: dict | None = None) -> str:
+    headers = ["design point", "latency (cyc)", "latency (ns)", "DSP", "LUT", "FF", "CP (ns)"]
+    if truth is not None:
+        headers.append("true lat(ns)/score")
+    rows = []
+    for evaluation in result.frontier:
+        row = [
+            evaluation.point.label(),
+            f"{evaluation.latency_cycles:.0f}",
+            f"{evaluation.latency_ns:.0f}",
+            f"{evaluation.dsp:.1f}",
+            f"{evaluation.lut:.0f}",
+            f"{evaluation.ff:.0f}",
+            f"{evaluation.cp_ns:.2f}",
+        ]
+        if truth is not None:
+            true_eval = truth.get(evaluation.point)
+            row.append(
+                f"{true_eval.latency_ns:.0f} / {true_eval.resource_score:.3f}"
+                if true_eval is not None
+                else "-"
+            )
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=f"Pareto frontier — {result.strategy} over {result.space_size} points "
+        f"({result.backend} backend)",
+    )
+
+
+def run_explore(args: argparse.Namespace) -> int:
+    space = build_space(args)
+    program = space.program
+    print(f"design space of {program.name}: {space}")
+
+    payload: dict = {"space": repr(space), "kernel": program.name}
+
+    if args.backend == "hls":
+        gt_evaluator = GroundTruthEvaluator(program, space)
+        result = explore(
+            space,
+            gt_evaluator,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            batch_size=args.batch_size,
+        )
+        print(frontier_table(result))
+        print(
+            f"\nevaluated {result.evaluated}/{space.size} points in "
+            f"{result.elapsed_s:.2f}s ({result.points_per_second:.1f} points/s, "
+            f"analytical flow)"
+        )
+        payload["result"] = result.as_dict()
+    else:
+        from repro.serve.service import PredictionService, ServiceConfig
+
+        predictor = load_or_train_predictor(args)
+        service = PredictionService(
+            predictor,
+            ServiceConfig(max_batch_size=256, cache_size=8192, validate=False),
+        )
+        evaluator = PredictorEvaluator(service, program, space)
+        result = explore(
+            space,
+            evaluator,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            batch_size=args.batch_size,
+        )
+        truth = None
+        if args.backend == "both":
+            gt_evaluator = GroundTruthEvaluator(program, space)
+            truth = {
+                evaluation.point: evaluation
+                for evaluation in gt_evaluator.evaluate_many(
+                    [e.point for e in result.frontier]
+                )
+            }
+        print(frontier_table(result, truth))
+        print(
+            f"\nevaluated {result.evaluated}/{space.size} points in "
+            f"{result.elapsed_s:.2f}s ({result.points_per_second:.1f} points/s "
+            f"through the prediction service)"
+        )
+        stats = result.stats.get("service", {})
+        if stats:
+            print(
+                f"service: {stats.get('model_graphs', 0)} model graphs, "
+                f"{stats.get('cache_hits', 0)} cache hits, "
+                f"{stats.get('batches', 0)} fused batches"
+            )
+        payload["result"] = result.as_dict()
+
+        if truth is not None and space.size <= args.adrs_limit:
+            reference = explore(
+                space, gt_evaluator, strategy="exhaustive", budget=space.size
+            )
+            from repro.dse.pareto import pareto_front
+
+            # True QoR of the predictor-selected points (memoised above).
+            approx_front = pareto_front(
+                list(truth.values()), key=lambda e: e.objectives()
+            )
+            score = adrs(
+                reference.frontier_objectives(),
+                [evaluation.objectives() for evaluation in approx_front],
+            )
+            hls_pps = reference.points_per_second
+            print(
+                f"ADRS vs exhaustive ground truth ({space.size} points): "
+                f"{score:.4f}  [predictor {result.points_per_second:.1f} pts/s "
+                f"vs flow {hls_pps:.1f} pts/s]"
+            )
+            payload["adrs"] = score
+            payload["exhaustive_points_per_second"] = round(hls_pps, 1)
+        elif truth is not None:
+            print(
+                f"(space size {space.size} > --adrs-limit {args.adrs_limit}; "
+                f"skipping the exhaustive ADRS reference)"
+            )
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def run_space(args: argparse.Namespace) -> int:
+    space = build_space(args)
+    rows = [
+        [
+            knob.index,
+            knob.var,
+            knob.trip_count,
+            ",".join(str(f) for f in knob.unroll_options),
+            "/".join("on" if p else "off" for p in knob.pipeline_options),
+        ]
+        for knob in space.knobs
+    ]
+    print(format_table(
+        ["loop", "var", "trip", "unroll options", "pipeline"],
+        rows,
+        title=f"{space.program.name}: {space.size} design points "
+        f"({len(space.clock_options)} clock option(s))",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verb == "space":
+        return run_space(args)
+    return run_explore(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Pareto-frontier extraction and ADRS (all objectives minimised)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+_EPS = 1e-9
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better
+    somewhere (minimisation)."""
+    not_worse = all(x <= y + _EPS for x, y in zip(a, b))
+    better = any(x < y - _EPS for x, y in zip(a, b))
+    return not_worse and better
+
+
+def pareto_front(
+    items: Sequence[T], key: Callable[[T], Sequence[float]]
+) -> list[T]:
+    """Non-dominated subset of ``items``, sorted by the first objective.
+
+    Duplicate objective vectors keep a single representative (the first
+    seen) so revisited design points cannot pad the frontier.
+    """
+    front: list[T] = []
+    seen: set[tuple[float, ...]] = set()
+    for item in items:
+        objectives = tuple(float(v) for v in key(item))
+        if objectives in seen:
+            continue
+        if any(dominates(key(other), objectives) for other in front):
+            continue
+        front = [other for other in front if not dominates(objectives, key(other))]
+        front.append(item)
+        seen.add(objectives)
+    return sorted(front, key=lambda item: tuple(key(item)))
+
+
+def adrs(
+    reference: Sequence[Sequence[float]],
+    approximate: Sequence[Sequence[float]],
+) -> float:
+    """Average Distance from Reference Set (lower is better, 0 = exact).
+
+    The standard DSE quality metric (Ferretti et al.): for every point of
+    the exhaustive ground-truth frontier, the distance to the closest
+    point of the approximate frontier, averaged::
+
+        ADRS = 1/|R| * sum_{r in R} min_{a in A} d(r, a)
+        d(r, a) = max_j max(0, (a_j - r_j) / |r_j|)
+
+    i.e. the worst relative shortfall across objectives.
+    """
+    if not len(reference):
+        raise ValueError("reference frontier is empty")
+    if not len(approximate):
+        raise ValueError("approximate frontier is empty")
+    ref = np.asarray(reference, dtype=np.float64)
+    approx = np.asarray(approximate, dtype=np.float64)
+    if ref.shape[1] != approx.shape[1]:
+        raise ValueError(
+            f"objective dims differ: {ref.shape[1]} vs {approx.shape[1]}"
+        )
+    scale = np.maximum(np.abs(ref), _EPS)  # [R, D]
+    # [R, A, D] relative shortfalls of every approximate point.
+    shortfall = (approx[None, :, :] - ref[:, None, :]) / scale[:, None, :]
+    distance = np.clip(shortfall, 0.0, None).max(axis=2)  # [R, A]
+    return float(distance.min(axis=1).mean())

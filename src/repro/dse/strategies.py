@@ -1,0 +1,237 @@
+"""Search strategies behind one ``explore()`` API.
+
+Every strategy proposes batches of *distinct* design points and sends
+them through ``evaluator.evaluate_many`` — batching is what lets the
+predictor backend amortise one fused model call over many candidates.
+Revisited points are deduplicated by the explorer (and, one level down,
+by the prediction service's fingerprint cache), so strategies are free
+to propose aggressively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dse.evaluate import DesignEvaluation
+from repro.dse.pareto import pareto_front
+from repro.dse.space import DesignPoint, DesignSpace
+
+
+@dataclass
+class ExplorationResult:
+    """Everything ``explore`` learned about one design space."""
+
+    strategy: str
+    space_size: int
+    evaluations: list[DesignEvaluation]
+    frontier: list[DesignEvaluation]
+    proposed: int  # points proposed by the strategy, incl. revisits
+    elapsed_s: float
+    backend: str = "?"
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.evaluated / self.elapsed_s
+
+    def frontier_objectives(self) -> list[tuple[float, float]]:
+        return [evaluation.objectives() for evaluation in self.frontier]
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "space_size": self.space_size,
+            "evaluated": self.evaluated,
+            "proposed": self.proposed,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "points_per_second": round(self.points_per_second, 1),
+            "frontier": [evaluation.as_dict() for evaluation in self.frontier],
+            "stats": self.stats,
+        }
+
+
+class _Explorer:
+    """Shared bookkeeping: dedupe, budget accounting, frontier updates."""
+
+    def __init__(self, space: DesignSpace, evaluator, budget: int, batch_size: int):
+        self.space = space
+        self.evaluator = evaluator
+        self.budget = budget
+        self.batch_size = max(1, batch_size)
+        self.seen: set[DesignPoint] = set()
+        self.evaluations: list[DesignEvaluation] = []
+        self.proposed = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - len(self.evaluations)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0 or len(self.seen) >= self.space.size
+
+    def run_batch(
+        self, candidates: list[DesignPoint], limit: int | None = None
+    ) -> list[DesignEvaluation]:
+        """Evaluate the novel prefix of ``candidates`` within budget."""
+        cap = self.remaining if limit is None else min(limit, self.remaining)
+        self.proposed += len(candidates)
+        fresh: list[DesignPoint] = []
+        for point in candidates:
+            if len(fresh) >= cap:
+                break
+            if point in self.seen:
+                continue
+            self.seen.add(point)
+            fresh.append(point)
+        if not fresh:
+            return []
+        evaluations = self.evaluator.evaluate_many(fresh)
+        self.evaluations.extend(evaluations)
+        return evaluations
+
+    def random_batch(self, rng: np.random.Generator, count: int) -> list[DesignPoint]:
+        # Oversample: collisions with ``seen`` are dropped by run_batch.
+        return [self.space.sample(rng) for _ in range(max(1, count) * 3)]
+
+    def frontier(self) -> list[DesignEvaluation]:
+        return pareto_front(self.evaluations, key=lambda e: e.objectives())
+
+
+def _exhaustive(explorer: _Explorer, rng: np.random.Generator, **_: object) -> None:
+    batch: list[DesignPoint] = []
+    for point in explorer.space.points():
+        batch.append(point)
+        if len(batch) >= explorer.batch_size:
+            explorer.run_batch(batch)
+            batch = []
+        if explorer.exhausted:
+            break
+    if batch and not explorer.exhausted:
+        explorer.run_batch(batch)
+
+
+def _random(explorer: _Explorer, rng: np.random.Generator, **_: object) -> None:
+    while not explorer.exhausted:
+        explorer.run_batch(
+            explorer.random_batch(rng, min(explorer.batch_size, explorer.remaining))
+        )
+
+
+def _epsilon_greedy(
+    explorer: _Explorer,
+    rng: np.random.Generator,
+    epsilon: float = 0.25,
+    **_: object,
+) -> None:
+    """Exploit the frontier by local mutation, explore at rate epsilon."""
+    # Warm-up seeds the frontier but must leave budget to exploit.
+    warmup = min(explorer.batch_size, max(4, explorer.remaining // 4))
+    explorer.run_batch(explorer.random_batch(rng, warmup), limit=warmup)
+    stall = 0
+    while not explorer.exhausted and stall < 8:
+        frontier = explorer.frontier()
+        candidates: list[DesignPoint] = []
+        for _ in range(explorer.batch_size * 2):
+            if not frontier or rng.random() < epsilon:
+                candidates.append(explorer.space.sample(rng))
+            else:
+                parent = frontier[rng.integers(len(frontier))].point
+                candidates.append(explorer.space.mutate(parent, rng))
+        stall = stall + 1 if not explorer.run_batch(
+            candidates, limit=explorer.batch_size
+        ) else 0
+
+
+def _evolutionary(
+    explorer: _Explorer,
+    rng: np.random.Generator,
+    population: int = 16,
+    mutation_rate: float = 0.3,
+    **_: object,
+) -> None:
+    """(mu + lambda)-style loop: frontier parents, crossover + mutation."""
+    seed_count = min(population, max(4, explorer.remaining // 4))
+    explorer.run_batch(explorer.random_batch(rng, seed_count), limit=seed_count)
+    stall = 0
+    while not explorer.exhausted and stall < 8:
+        frontier = explorer.frontier()
+        if not frontier:
+            break
+        offspring: list[DesignPoint] = []
+        for _ in range(explorer.batch_size * 2):
+            a = frontier[rng.integers(len(frontier))].point
+            b = frontier[rng.integers(len(frontier))].point
+            child = explorer.space.crossover(a, b, rng)
+            if rng.random() < mutation_rate:
+                child = explorer.space.mutate(child, rng)
+            offspring.append(child)
+        stall = stall + 1 if not explorer.run_batch(
+            offspring, limit=explorer.batch_size
+        ) else 0
+
+
+STRATEGIES = {
+    "exhaustive": _exhaustive,
+    "random": _random,
+    "greedy": _epsilon_greedy,
+    "evolutionary": _evolutionary,
+}
+
+
+def explore(
+    space: DesignSpace,
+    evaluator,
+    strategy: str = "greedy",
+    budget: int | None = None,
+    seed: int = 0,
+    batch_size: int = 64,
+    **options,
+) -> ExplorationResult:
+    """Search ``space`` with ``evaluator`` and return the Pareto frontier.
+
+    ``budget`` bounds *evaluated* (distinct) points; the default explores
+    the full space exhaustively and a quarter of it otherwise. Extra
+    keyword options reach the strategy (``epsilon``, ``population``,
+    ``mutation_rate``).
+    """
+    if strategy not in STRATEGIES:
+        raise KeyError(
+            f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+        )
+    if budget is None:
+        budget = space.size if strategy == "exhaustive" else max(16, space.size // 4)
+    budget = min(budget, space.size)
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    explorer = _Explorer(space, evaluator, budget, batch_size)
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    STRATEGIES[strategy](explorer, rng, **options)
+    elapsed = time.perf_counter() - start
+    stats: dict = {}
+    service = getattr(evaluator, "service", None)
+    if service is not None:
+        stats["service"] = service.stats.as_dict()
+    if hasattr(evaluator, "flow_runs"):
+        stats["flow_runs"] = evaluator.flow_runs
+    return ExplorationResult(
+        strategy=strategy,
+        space_size=space.size,
+        evaluations=explorer.evaluations,
+        frontier=explorer.frontier(),
+        proposed=explorer.proposed,
+        elapsed_s=elapsed,
+        backend=getattr(evaluator, "name", "?"),
+        stats=stats,
+    )

@@ -6,6 +6,7 @@ Examples::
     python -m repro.experiments table4 --scale small
     python -m repro.experiments table5
     python -m repro.experiments ablations
+    python -m repro.experiments dse
     python -m repro.experiments publish --registry model-registry
     python -m repro.experiments all
 """
@@ -28,18 +29,26 @@ def _run_report(scale):
     generate_report(scale, "EXPERIMENTS.md")
 
 
+def _run_dse(scale):
+    from repro.experiments.dse import run_dse
+
+    run_dse(scale)
+
+
 RUNNERS = {
     "table2": run_table2,
     "table3": run_table3,
     "table4": run_table4,
     "table5": run_table5,
     "ablations": run_ablations,
+    "dse": _run_dse,
     "report": _run_report,
     "publish": None,  # bound to the parsed --registry in main()
 }
 
-#: Verbs with side effects beyond printing — excluded from "all".
-_NOT_IN_ALL = ("report", "publish")
+#: Excluded from "all": verbs with side effects beyond printing, plus
+#: the DSE report (trains its own model; run it explicitly).
+_NOT_IN_ALL = ("report", "publish", "dse")
 
 
 def main(argv: list[str] | None = None) -> int:

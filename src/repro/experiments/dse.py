@@ -1,0 +1,96 @@
+"""DSE report: strategy quality and backend throughput on suite kernels.
+
+Not one of the paper's tables — this is the workload the paper motivates
+(fast QoR feedback inside design iteration) quantified: for each kernel,
+each search strategy explores a quarter of the design space with the
+predictor backend; the frontier it finds is re-scored with the
+analytical flow and compared against the exhaustive ground-truth
+frontier via ADRS. Alongside, the throughput of both backends shows why
+predictor-guided DSE is worth the approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dse.evaluate import GroundTruthEvaluator, PredictorEvaluator
+from repro.dse.pareto import adrs, pareto_front
+from repro.dse.space import DesignSpace
+from repro.dse.strategies import explore
+from repro.experiments.common import ExperimentScale, get_scale
+from repro.experiments.publish import train_predictor
+from repro.serve.service import PredictionService, ServiceConfig
+from repro.suites.registry import suite_programs
+from repro.utils.tables import format_table
+
+KERNELS = ("ms_gemm", "ms_backprop", "ms_stencil3d")
+STRATEGY_NAMES = ("random", "greedy", "evolutionary")
+
+
+def run_dse(scale: ExperimentScale | None = None, seed: int = 0) -> dict:
+    """Explore a few MachSuite kernels with every strategy; returns and
+    prints the per-(kernel, strategy) ADRS / throughput table."""
+    scale = scale or get_scale()
+    predictor, metrics = train_predictor(
+        "off_the_shelf", scale, model_name="gcn", mode="cdfg", seed=seed
+    )
+    print(
+        f"predictor: gcn off-the-shelf, test MAPE {metrics['test_mape_mean']:.3f}"
+    )
+    programs = {program.name: program for program in suite_programs("machsuite")}
+    rows = []
+    results: dict = {}
+    for kernel in KERNELS:
+        program = programs[kernel]
+        space = DesignSpace.from_program(program, unroll_options=(1, 2, 4, 8))
+        gt = GroundTruthEvaluator(program, space)
+        reference = explore(space, gt, strategy="exhaustive", budget=space.size)
+        hls_pps = reference.points_per_second
+        for strategy in STRATEGY_NAMES:
+            service = PredictionService(
+                predictor,
+                ServiceConfig(max_batch_size=1024, cache_size=16384, validate=False),
+            )
+            evaluator = PredictorEvaluator(service, program, space)
+            result = explore(
+                space,
+                evaluator,
+                strategy=strategy,
+                budget=max(16, space.size // 4),
+                seed=seed,
+            )
+            truth = gt.evaluate_many([e.point for e in result.frontier])
+            front = pareto_front(truth, key=lambda e: e.objectives())
+            score = adrs(
+                reference.frontier_objectives(),
+                [evaluation.objectives() for evaluation in front],
+            )
+            rows.append(
+                [
+                    kernel,
+                    strategy,
+                    f"{result.evaluated}/{space.size}",
+                    f"{result.points_per_second:.0f}",
+                    f"{hls_pps:.0f}",
+                    f"{result.points_per_second / hls_pps:.1f}x",
+                    f"{score:.4f}",
+                ]
+            )
+            results[(kernel, strategy)] = {
+                "adrs": score,
+                "evaluated": result.evaluated,
+                "predictor_pps": result.points_per_second,
+                "hls_pps": hls_pps,
+            }
+    print()
+    print(
+        format_table(
+            ["kernel", "strategy", "evaluated", "pred pts/s", "HLS pts/s",
+             "speedup", "ADRS"],
+            rows,
+            title="Predictor-guided DSE vs exhaustive analytical flow",
+        )
+    )
+    mean_adrs = float(np.mean([value["adrs"] for value in results.values()]))
+    print(f"\nmean ADRS across kernels/strategies: {mean_adrs:.4f}")
+    return results

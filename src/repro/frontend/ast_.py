@@ -121,6 +121,13 @@ class For:
 
     HLS tools require statically analysable trip counts; restricting the
     AST to this shape keeps every generated program synthesizable.
+
+    ``unroll`` and ``pipeline`` are HLS *directives* (the per-loop pragmas
+    a design-space explorer sweeps): an explicit unroll factor overrides
+    the flow's small-loop heuristic, and ``pipeline`` requests II=1
+    initiation for the loop body. They are metadata — lowering attaches
+    them to the IR function (:attr:`repro.ir.function.IRFunction.
+    loop_directives`) without changing the emitted instructions.
     """
 
     var: str
@@ -128,6 +135,8 @@ class For:
     bound: int
     step: int = 1
     body: list["Stmt"] = field(default_factory=list)
+    unroll: int | None = None
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.step == 0:
@@ -136,6 +145,8 @@ class For:
             raise ValueError("non-terminating loop (positive step, bound < start)")
         if self.step < 0 and self.bound > self.start:
             raise ValueError("non-terminating loop (negative step, bound > start)")
+        if self.unroll is not None and self.unroll < 1:
+            raise ValueError("unroll directive must be >= 1")
 
     @property
     def trip_count(self) -> int:

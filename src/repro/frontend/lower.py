@@ -32,7 +32,7 @@ from repro.frontend.ast_ import (
 )
 from repro.frontend.ctypes_ import CArray, CInt
 from repro.ir.basic_block import BasicBlock
-from repro.ir.function import IRFunction
+from repro.ir.function import IRFunction, LoopDirective
 from repro.ir.opcodes import Opcode
 from repro.ir.values import Argument, Constant, Instruction, Value
 from repro.ir.verify import verify_function
@@ -365,6 +365,11 @@ class _Lowerer:
         body_block = self._new_block("for.body")
         latch = self._new_block("for.latch")
         exit_block = self._new_block("for.end")
+        self.fn.loop_headers.append(header.name)
+        if stmt.unroll is not None or stmt.pipeline:
+            self.fn.loop_directives[header.name] = LoopDirective(
+                unroll=stmt.unroll, pipeline=stmt.pipeline
+            )
         self._branch(header.name)
 
         loop_t = CInt(32)

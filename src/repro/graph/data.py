@@ -79,7 +79,27 @@ class GraphData:
     def feature_dim(self) -> int:
         return self.node_features.shape[1]
 
-    def fingerprint(self) -> str:
+    def fingerprint_context(self):
+        """Digest of the feature-independent payload (topology + per-node
+        resources).
+
+        A DSE loop derives hundreds of candidate graphs from one base
+        graph by rewriting feature columns only; hashing the shared
+        arrays once and finishing per variant via
+        ``fingerprint(context=...)`` keeps the cache key cheap. The
+        context is only valid for graphs sharing *identical* topology and
+        resource arrays.
+        """
+        digest = hashlib.sha256()
+        arrays = [self.edge_index, self.edge_type, self.edge_back]
+        if self.node_resources is not None:
+            arrays.append(self.node_resources)
+        for array in arrays:
+            digest.update(str(array.shape).encode())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest
+
+    def fingerprint(self, context=None) -> str:
         """Stable content hash of the model-visible payload.
 
         Covers features, topology and (when present) per-node resource
@@ -88,19 +108,16 @@ class GraphData:
         regardless of provenance. ``__post_init__`` normalises dtypes,
         making the digest stable across processes — it is the cache key
         of :class:`repro.serve.service.PredictionService`.
+
+        ``context`` may carry this graph's :meth:`fingerprint_context`
+        (computed once for a family of same-topology graphs); it is
+        copied, never mutated.
         """
-        digest = hashlib.sha256()
-        arrays = [
-            self.node_features,
-            self.edge_index,
-            self.edge_type,
-            self.edge_back,
-        ]
-        if self.node_resources is not None:
-            arrays.append(self.node_resources)
-        for array in arrays:
-            digest.update(str(array.shape).encode())
-            digest.update(np.ascontiguousarray(array).tobytes())
+        digest = (
+            context.copy() if context is not None else self.fingerprint_context()
+        )
+        digest.update(str(self.node_features.shape).encode())
+        digest.update(np.ascontiguousarray(self.node_features).tobytes())
         return digest.hexdigest()
 
     def with_features(self, node_features: np.ndarray) -> "GraphData":

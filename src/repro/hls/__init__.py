@@ -22,7 +22,8 @@ from repro.hls.fsm import FSMCost, fsm_cost
 from repro.hls.implementation import ImplMetrics, implement
 from repro.hls.report import synthesis_report
 from repro.hls.flow import HLSResult, run_hls
-from repro.hls.loops import LoopInfo, analyze_loops, unroll_factors
+from repro.hls.latency import LatencyModel, LatencyReport, estimate_latency
+from repro.hls.loops import LoopInfo, analyze_loops, loop_unroll_factor, unroll_factors
 from repro.hls.debug import binding_report, full_report, schedule_report
 
 __all__ = [
@@ -44,8 +45,12 @@ __all__ = [
     "synthesis_report",
     "HLSResult",
     "run_hls",
+    "LatencyModel",
+    "LatencyReport",
+    "estimate_latency",
     "LoopInfo",
     "analyze_loops",
+    "loop_unroll_factor",
     "unroll_factors",
     "binding_report",
     "full_report",

@@ -20,6 +20,7 @@ from repro.hls.implementation import (
     implement,
     pipeline_registers,
 )
+from repro.hls.latency import LatencyReport, estimate_latency
 from repro.hls.report import synthesis_report
 from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
 from repro.hls.scheduling import Schedule, schedule_function
@@ -38,18 +39,30 @@ class HLSResult:
     node_resources: dict[int, tuple[float, float, float]]
     #: instruction id -> (uses_dsp, uses_lut, uses_ff) in {0, 1}
     node_types: dict[int, tuple[int, int, int]]
+    #: estimated kernel latency under the applied directives
+    latency: LatencyReport | None = None
 
 
 def run_hls(
     function: IRFunction,
     device: DeviceModel = DEFAULT_DEVICE,
     dsp_limit: int | None = None,
+    unroll_overrides: dict[str, int] | None = None,
+    pipeline_overrides: dict[str, bool] | None = None,
 ) -> HLSResult:
-    """Run the full simulated flow on one IR function."""
-    from repro.hls.loops import unroll_factors
+    """Run the full simulated flow on one IR function.
+
+    ``unroll_overrides`` / ``pipeline_overrides`` (loop header block name
+    keyed) are explicit directive inputs to the flow: they take
+    precedence over directives lowered onto the function and over the
+    small-loop heuristic. Together with ``device`` (target clock) these
+    are the knobs a design-space explorer sweeps per design point.
+    """
+    from repro.hls.loops import analyze_loops, unroll_factors
 
     schedule = schedule_function(function, device=device, dsp_limit=dsp_limit)
-    unroll = unroll_factors(function)
+    loops = analyze_loops(function)
+    unroll = unroll_factors(function, overrides=unroll_overrides, loops=loops)
     binding = bind_function(function, schedule, unroll=unroll)
     fsm = fsm_cost(function, schedule)
     impl = implement(function, schedule, binding, fsm, device=device, unroll=unroll)
@@ -60,6 +73,14 @@ def run_hls(
         device=device,
         bound_dsp=binding.datapath_dsp,
         unroll=unroll,
+    )
+
+    latency = estimate_latency(
+        function,
+        schedule,
+        unroll_overrides=unroll_overrides,
+        pipeline_overrides=pipeline_overrides,
+        loops=loops,
     )
 
     # Final per-node attribution: FU share plus pipeline registers.
@@ -84,4 +105,5 @@ def run_hls(
         report=report,
         node_resources=node_resources,
         node_types=node_types,
+        latency=latency,
     )

@@ -1,0 +1,174 @@
+"""Kernel latency estimation over the loop nest.
+
+The implementation model labels graphs with *resource* ground truth
+(DSP/LUT/FF/CP); design-space exploration additionally needs a *latency*
+objective to trade those resources against. This module walks the
+natural-loop forest and composes per-block schedule latencies into total
+kernel cycles:
+
+- a rolled loop of ``n`` iterations costs ``n x body`` cycles,
+- unrolling by ``f`` collapses it to ``ceil(n / f) x body`` (the
+  replicated datapath executes ``f`` iterations per pass),
+- a *pipelined* loop initiates a new iteration every cycle (II=1), so it
+  costs ``body + iterations - 1`` cycles instead of ``iterations x body``.
+
+Pipelining is modelled as latency-only (resources are driven by the
+unroll replication), which is the classic first-order QoR trade-off a
+DSE loop explores.
+
+:class:`LatencyModel` precomputes the forest once per (function,
+schedule) so a DSE loop can re-price thousands of directive sets with a
+handful of integer operations each; :func:`estimate_latency` is the
+one-shot convenience wrapper the HLS flow calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.loops import LoopInfo, analyze_loops, loop_unroll_factor
+from repro.hls.scheduling import Schedule
+from repro.ir.function import IRFunction
+
+#: Assumed iteration count for loops whose trip count is not statically
+#: recoverable (mirrors the default trip-count assumption of HLS tools).
+ASSUMED_TRIP_COUNT = 16
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Estimated kernel latency at a given schedule and directive set."""
+
+    cycles: int
+    clock_period_ns: float
+    #: loop header -> cycles attributed to that loop (including nested).
+    loop_cycles: dict[str, int]
+
+    @property
+    def ns(self) -> float:
+        return self.cycles * self.clock_period_ns
+
+
+def _pipelined(
+    loop: LoopInfo,
+    directives: dict,
+    overrides: dict[str, bool] | None,
+) -> bool:
+    if overrides is not None and loop.header in overrides:
+        return bool(overrides[loop.header])
+    directive = directives.get(loop.header)
+    return directive.pipeline if directive is not None else False
+
+
+class LatencyModel:
+    """Precomputed loop forest + block latencies of one scheduled function.
+
+    ``report(unroll_overrides, pipeline_overrides)`` then prices one
+    directive set in O(loops) integer arithmetic — the DSE fast path.
+    """
+
+    def __init__(
+        self,
+        function: IRFunction,
+        schedule: Schedule,
+        loops: list[LoopInfo] | None = None,
+    ):
+        self.function = function
+        self.clock_period_ns = schedule.device.clock_period_ns
+        self.directives = getattr(function, "loop_directives", {})
+        if loops is None:
+            loops = analyze_loops(function)
+        # Innermost-first: a loop L1 strictly contains L2 when L2's blocks
+        # are a proper subset of L1's, so sorting by block-set size
+        # processes children before parents.
+        self.loops = sorted(loops, key=lambda lp: len(lp.blocks))
+
+        block_latency = {
+            name: summary.latency for name, summary in schedule.blocks.items()
+        }
+        consumed_blocks: set[str] = set()
+        consumed_loops: set[str] = set()
+        #: per loop: (base cycles of exclusively-owned blocks, child headers)
+        self.body: dict[str, tuple[int, tuple[str, ...]]] = {}
+        for loop in self.loops:
+            base = 0
+            for name in sorted(loop.blocks):
+                if name in consumed_blocks:
+                    continue
+                base += block_latency.get(name, 1)
+                consumed_blocks.add(name)
+            children = []
+            for inner in self.loops:
+                if inner.header == loop.header or inner.header in consumed_loops:
+                    continue
+                if inner.blocks < loop.blocks:
+                    children.append(inner.header)
+                    consumed_loops.add(inner.header)
+            self.body[loop.header] = (base, tuple(children))
+        self.top_loops = tuple(
+            loop.header for loop in self.loops if loop.header not in consumed_loops
+        )
+        self.top_base = sum(
+            block_latency.get(block.name, 1)
+            for block in function.blocks
+            if block.name not in consumed_blocks
+        )
+
+    def report(
+        self,
+        unroll_overrides: dict[str, int] | None = None,
+        pipeline_overrides: dict[str, bool] | None = None,
+    ) -> LatencyReport:
+        loop_cycles: dict[str, int] = {}
+        for loop in self.loops:  # innermost-first: children already priced
+            base, children = self.body[loop.header]
+            body = base + sum(loop_cycles[child] for child in children)
+            trip = (
+                loop.trip_count
+                if loop.trip_count is not None
+                else ASSUMED_TRIP_COUNT
+            )
+            factor = loop_unroll_factor(loop, self.directives, unroll_overrides)
+            iterations = max(1, -(-trip // factor)) if trip > 0 else 0
+            if iterations == 0:
+                loop_cycles[loop.header] = 0
+            elif _pipelined(loop, self.directives, pipeline_overrides):
+                loop_cycles[loop.header] = body + iterations - 1
+            else:
+                loop_cycles[loop.header] = body * iterations
+        total = self.top_base + sum(
+            loop_cycles[header] for header in self.top_loops
+        )
+        return LatencyReport(
+            cycles=max(1, total),
+            clock_period_ns=self.clock_period_ns,
+            loop_cycles=loop_cycles,
+        )
+
+    def cycles(
+        self,
+        unroll_overrides: dict[str, int] | None = None,
+        pipeline_overrides: dict[str, bool] | None = None,
+    ) -> int:
+        return self.report(unroll_overrides, pipeline_overrides).cycles
+
+
+def estimate_latency(
+    function: IRFunction,
+    schedule: Schedule,
+    unroll_overrides: dict[str, int] | None = None,
+    pipeline_overrides: dict[str, bool] | None = None,
+    loops: list[LoopInfo] | None = None,
+) -> LatencyReport:
+    """Compose block schedule latencies into total kernel cycles.
+
+    Directive sources mirror :func:`repro.hls.loops.unroll_factors`:
+    explicit ``*_overrides`` (header block name keyed) win over
+    ``function.loop_directives``, which wins over the heuristic.
+    ``loops`` may carry a precomputed ``analyze_loops(function)`` result;
+    callers pricing many directive sets should hold a
+    :class:`LatencyModel` instead.
+    """
+    return LatencyModel(function, schedule, loops=loops).report(
+        unroll_overrides, pipeline_overrides
+    )

@@ -20,6 +20,10 @@ from repro.ir.values import Constant, Instruction
 UNROLL_THRESHOLD = 8
 #: Cap on the combined (nested) replication factor.
 MAX_UNROLL_FACTOR = 16
+#: Cap on the combined factor when *explicit* directives are involved —
+#: directives are trusted further than the heuristic, but replication is
+#: still bounded (real tools refuse absurd pragma products too).
+MAX_DIRECTIVE_FACTOR = 64
 
 
 @dataclass(frozen=True)
@@ -106,19 +110,79 @@ def analyze_loops(function: IRFunction) -> list[LoopInfo]:
     return loops
 
 
-def unroll_factors(function: IRFunction) -> dict[str, int]:
+def loop_unroll_factor(
+    loop: LoopInfo,
+    directives: dict | None = None,
+    overrides: dict[str, int] | None = None,
+) -> int:
+    """Replication factor of one loop: explicit directive/override wins,
+    otherwise the small-loop heuristic (full unroll below the threshold).
+
+    Explicit factors are clamped to the trip count when statically known
+    — unrolling past the iteration count replicates nothing.
+    """
+    explicit = (overrides or {}).get(loop.header)
+    if explicit is None:
+        directive = (directives or {}).get(loop.header)
+        if directive is not None and directive.unroll is not None:
+            explicit = directive.unroll
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError(
+                f"unroll override for {loop.header!r} must be >= 1, got {explicit}"
+            )
+        if loop.trip_count is not None:
+            explicit = min(explicit, loop.trip_count)
+        return explicit
+    return loop.trip_count if loop.unrolled else 1
+
+
+def unroll_factors(
+    function: IRFunction,
+    overrides: dict[str, int] | None = None,
+    loops: list[LoopInfo] | None = None,
+) -> dict[str, int]:
     """Per-block datapath replication factor after unrolling.
 
     A block inside k nested unrolled loops is replicated by the product
-    of their trip counts (capped at :data:`MAX_UNROLL_FACTOR`); blocks in
-    rolled loops keep factor 1.
+    of their per-loop factors; blocks in rolled loops keep factor 1.
+    Per-loop factors come from :func:`loop_unroll_factor`: explicit
+    directives on the function (``function.loop_directives``) or the
+    ``overrides`` argument (header block name -> factor, the DSE flow
+    input) take precedence over the small-loop heuristic. Purely
+    heuristic products are capped at :data:`MAX_UNROLL_FACTOR`; products
+    involving a directive are trusted up to :data:`MAX_DIRECTIVE_FACTOR`.
+    ``loops`` may carry a precomputed :func:`analyze_loops` result (the
+    flow analyses each function exactly once and threads it through).
     """
+    directives = getattr(function, "loop_directives", {})
+    if loops is None:
+        loops = analyze_loops(function)
+    if overrides:
+        known = {loop.header for loop in loops}
+        unknown = set(overrides) - known
+        if unknown:
+            raise KeyError(
+                f"unroll overrides name unknown loop headers {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
     factors = {block.name: 1 for block in function.blocks}
-    for loop in analyze_loops(function):
-        if not loop.unrolled:
+    directed: set[str] = set()
+    for loop in loops:
+        explicit = (
+            loop.header in (overrides or {})
+            or (loop.header in directives and directives[loop.header].unroll is not None)
+        )
+        factor = loop_unroll_factor(loop, directives, overrides)
+        if factor == 1:
             continue
         for name in loop.blocks:
-            factors[name] = min(
-                MAX_UNROLL_FACTOR, factors[name] * loop.trip_count
+            cap = (
+                MAX_DIRECTIVE_FACTOR
+                if explicit or name in directed
+                else MAX_UNROLL_FACTOR
             )
+            factors[name] = min(cap, factors[name] * factor)
+            if explicit:
+                directed.add(name)
     return factors

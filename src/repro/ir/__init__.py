@@ -15,7 +15,7 @@ from repro.ir.opcodes import (
 )
 from repro.ir.values import Argument, Constant, Instruction, Value
 from repro.ir.basic_block import BasicBlock
-from repro.ir.function import IRFunction
+from repro.ir.function import IRFunction, LoopDirective
 from repro.ir.cfg import back_edges, predecessors, reverse_post_order, successors
 from repro.ir.verify import IRVerificationError, verify_function
 from repro.ir.graph import IRGraph, IRNode
@@ -36,6 +36,7 @@ __all__ = [
     "Value",
     "BasicBlock",
     "IRFunction",
+    "LoopDirective",
     "back_edges",
     "predecessors",
     "reverse_post_order",

@@ -2,11 +2,35 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.typesys import CInt
 from repro.ir.basic_block import BasicBlock
 from repro.ir.values import Argument, Instruction
+
+
+@dataclass(frozen=True)
+class LoopDirective:
+    """HLS directives attached to one natural loop (by header block).
+
+    ``unroll`` is an explicit datapath replication factor that overrides
+    the flow's small-loop heuristic; ``pipeline`` requests II=1 loop
+    pipelining. Directives are metadata: they steer the HLS cost models
+    (:mod:`repro.hls.loops`, :mod:`repro.hls.latency`) and the directive
+    feature columns, never the emitted instructions.
+    """
+
+    unroll: int | None = None
+    pipeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unroll is not None and self.unroll < 1:
+            raise ValueError("unroll directive must be >= 1")
+
+    @property
+    def is_default(self) -> bool:
+        return self.unroll is None and not self.pipeline
 
 
 class IRFunction:
@@ -16,6 +40,12 @@ class IRFunction:
         self.ret_type = ret_type
         self.blocks: list[BasicBlock] = []
         self._block_index: dict[str, BasicBlock] = {}
+        #: loop header block name -> directive (attached during lowering).
+        self.loop_directives: dict[str, LoopDirective] = {}
+        #: loop header block names in source (pre-)order — the stable
+        #: mapping between AST loop positions and IR loops that the DSE
+        #: layer uses to thread per-loop overrides without re-lowering.
+        self.loop_headers: list[str] = []
 
     def add_block(self, name: str) -> BasicBlock:
         if name in self._block_index:

@@ -55,6 +55,12 @@ class GeneratorConfig:
     p_if: float = 0.35
     p_else: float = 0.6
     loop_body_statements: tuple[int, int] = (2, 4)
+    # HLS directive sampling (per generated loop). Non-zero defaults keep
+    # the directive feature columns populated in the training
+    # distribution so predictors can steer directive-based DSE.
+    p_unroll_directive: float = 0.25
+    p_pipeline_directive: float = 0.15
+    unroll_directive_choices: tuple[int, ...] = (2, 4, 8, 16)
 
     def __post_init__(self) -> None:
         if self.mode not in ("dfg", "cdfg"):

@@ -229,7 +229,23 @@ class ProgramGenerator:
                 body.append(
                     Assign(Var(target), BinOp("+", Var(target), update))
                 )
-        return For(loop_var, 0, trip, 1, body)
+        unroll, pipeline = self._sample_directives(trip)
+        return For(loop_var, 0, trip, 1, body, unroll=unroll, pipeline=pipeline)
+
+    def _sample_directives(self, trip: int) -> tuple[int | None, bool]:
+        """Random HLS directives so the training distribution exercises
+        the directive feature columns the DSE predictor relies on."""
+        config, rng = self.config, self.rng
+        unroll: int | None = None
+        if config.p_unroll_directive > 0 and rng.random() < config.p_unroll_directive:
+            options = [f for f in config.unroll_directive_choices if f <= trip]
+            if options:
+                unroll = int(rng.choice(options))
+        pipeline = bool(
+            config.p_pipeline_directive > 0
+            and rng.random() < config.p_pipeline_directive
+        )
+        return unroll, pipeline
 
 
 def generate_program(config: GeneratorConfig, seed: int) -> Program:

@@ -108,18 +108,24 @@ class HierarchicalPredictor:
         return node_result, graph_result
 
     # -- inference ---------------------------------------------------------
-    def infer_types(self, graphs: list[GraphData]) -> np.ndarray:
+    def infer_types(
+        self, graphs: list[GraphData], batch_size: int = 64
+    ) -> np.ndarray:
         """Stage-1 inference: 0/1 resource-type bits for every node."""
         if self.node_model is None:
             raise RuntimeError("predictor is not fitted")
-        logits = predict_node_logits(self.node_model, graphs)
+        logits = predict_node_logits(self.node_model, graphs, batch_size=batch_size)
         return (logits > 0).astype(float)
 
-    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+    def predict(
+        self, graphs: list[GraphData], batch_size: int = 64
+    ) -> np.ndarray:
         if self.graph_model is None:
             raise RuntimeError("predictor is not fitted")
-        annotated = attach_inferred_types(graphs, self.infer_types(graphs))
-        return predict_regressor(self.graph_model, annotated)
+        annotated = attach_inferred_types(
+            graphs, self.infer_types(graphs, batch_size=batch_size)
+        )
+        return predict_regressor(self.graph_model, annotated, batch_size=batch_size)
 
     # -- evaluation -----------------------------------------------------------
     def evaluate(self, graphs: list[GraphData]) -> np.ndarray:

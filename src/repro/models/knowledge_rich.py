@@ -31,8 +31,12 @@ class KnowledgeRichPredictor:
             apply_feature_view(val_graphs, "rich"),
         )
 
-    def predict(self, graphs: list[GraphData]) -> np.ndarray:
-        return self._inner.predict(apply_feature_view(graphs, "rich"))
+    def predict(
+        self, graphs: list[GraphData], batch_size: int = 64
+    ) -> np.ndarray:
+        return self._inner.predict(
+            apply_feature_view(graphs, "rich"), batch_size=batch_size
+        )
 
     def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
         return self._inner.evaluate(apply_feature_view(graphs, "rich"))

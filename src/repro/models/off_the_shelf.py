@@ -52,10 +52,12 @@ class OffTheShelfPredictor:
             self.model, train_graphs, val_graphs, self.config.train
         )
 
-    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+    def predict(
+        self, graphs: list[GraphData], batch_size: int = 64
+    ) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("predictor is not fitted")
-        return predict_regressor(self.model, graphs)
+        return predict_regressor(self.model, graphs, batch_size=batch_size)
 
     def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
         if self.model is None:

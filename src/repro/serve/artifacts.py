@@ -39,7 +39,11 @@ from repro.version import __version__
 #: v2: relational layers batched their per-relation Linear stacks into
 #: single RelationLinear parameters (``relation_linears.0.weight`` ->
 #: ``relation_linear.weight``), and archives are float32 by default.
-SCHEMA_VERSION = 2
+#: v3: the base feature encoding grew three directive columns
+#: (unroll/pipeline/clock — see repro.dataset.features.DIRECTIVE_DIM),
+#: so models published under v2 expect narrower request graphs than the
+#: encoder now produces and must be retrained.
+SCHEMA_VERSION = 3
 
 MANIFEST_NAME = "manifest.json"
 WEIGHTS_NAME = "weights.npz"

@@ -14,11 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dataset.builder import lower_and_extract, per_node_arrays
-from repro.dataset.features import FeatureEncoder
+from repro.dataset.features import FeatureEncoder, directive_features
 from repro.frontend.ast_ import Program
 from repro.frontend.parser import parse_c_source
 from repro.graph.data import GraphData
 from repro.hls.flow import run_hls
+from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
 
 
 def encode_program(
@@ -26,6 +27,7 @@ def encode_program(
     kind: str | None = None,
     with_hls_resources: bool = False,
     encoder: FeatureEncoder | None = None,
+    device: DeviceModel = DEFAULT_DEVICE,
 ) -> GraphData:
     """Compile and encode one program for inference (no targets).
 
@@ -34,16 +36,19 @@ def encode_program(
     graphs match training-time graphs exactly. ``with_hls_resources``
     additionally runs the simulated HLS flow and attaches raw per-node
     resource values so the knowledge-rich feature view can be derived at
-    predict time.
+    predict time. Loop directives on the AST and the ``device`` target
+    clock surface as directive feature columns, exactly as at training
+    time.
     """
     encoder = encoder or FeatureEncoder()
     function, graph, kind = lower_and_extract(program, kind)
     node_resources = None
     if with_hls_resources:
-        node_resources = per_node_arrays(graph, run_hls(function))[0]
+        node_resources = per_node_arrays(graph, run_hls(function, device=device))[0]
     return encoder.encode(
         graph,
         node_resources=node_resources,
+        directives=directive_features(function, graph, device=device),
         meta={"name": program.name, "kind": kind, "origin": "serve"},
     )
 
@@ -53,10 +58,13 @@ def encode_source(
     kind: str | None = None,
     with_hls_resources: bool = False,
     name: str | None = None,
+    device: DeviceModel = DEFAULT_DEVICE,
 ) -> GraphData:
     """Parse mini-C ``source`` and encode it for inference."""
     program = parse_c_source(source, name=name)
-    return encode_program(program, kind=kind, with_hls_resources=with_hls_resources)
+    return encode_program(
+        program, kind=kind, with_hls_resources=with_hls_resources, device=device
+    )
 
 
 def graph_from_payload(payload: dict) -> GraphData:

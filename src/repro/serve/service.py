@@ -51,15 +51,25 @@ class ServiceConfig:
 
 @dataclass
 class ServiceStats:
-    """Counters for observability and the ``bench`` verb."""
+    """Counters for observability and the ``bench`` verb.
+
+    Invariant: every accepted request is counted exactly once in
+    ``cache_hits + cache_misses + coalesced``; requests rejected at the
+    validation boundary land in ``rejected`` instead. ``model_graphs``
+    counts *distinct* graphs evaluated by the model — with coalescing and
+    bulk dedupe it never exceeds ``cache_misses``.
+    """
 
     requests: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     coalesced: int = 0
+    rejected: int = 0
     evictions: int = 0
     batches: int = 0
+    flushes: int = 0
     model_graphs: int = 0
+    bulk_calls: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -156,12 +166,23 @@ class PredictionService:
                 "with_hls_resources=True))"
             )
 
-    def submit(self, graph: GraphData) -> PendingPrediction:
-        """Queue one graph; auto-flushes when the batch fills up."""
+    def submit(
+        self, graph: GraphData, fingerprint: str | None = None
+    ) -> PendingPrediction:
+        """Queue one graph; auto-flushes when the batch fills up.
+
+        ``fingerprint`` may be supplied when the caller already computed
+        it (the bulk path hashes every graph up front for dedupe).
+        """
         self.stats.requests += 1
         if self.config.validate:
-            self._validate(graph)
-        fingerprint = graph.fingerprint()
+            try:
+                self._validate(graph)
+            except ValueError:
+                self.stats.rejected += 1
+                raise
+        if fingerprint is None:
+            fingerprint = graph.fingerprint()
         cached = self._cache_get(fingerprint)
         if cached is not None:
             self.stats.cache_hits += 1
@@ -192,11 +213,16 @@ class PredictionService:
         pending, self._pending = self._pending, []
         if not pending:
             return 0
+        self.stats.flushes += 1
         size = self.config.max_batch_size
         try:
             for start in range(0, len(pending), size):
                 chunk = pending[start : start + size]
-                predictions = self.predictor.predict([e.graph for e in chunk])
+                # max_batch_size governs the fused model batch end to end
+                # — without it the predictor would silently re-chunk.
+                predictions = self.predictor.predict(
+                    [e.graph for e in chunk], batch_size=size
+                )
                 self.stats.batches += 1
                 self.stats.model_graphs += len(chunk)
                 for entry, row in zip(chunk, predictions):
@@ -208,11 +234,58 @@ class PredictionService:
         return len(pending)
 
     # -- convenience front-ends -------------------------------------------
-    def predict(self, graphs: list[GraphData]) -> np.ndarray:
+    def submit_many(
+        self,
+        graphs: list[GraphData],
+        fingerprints: list[str] | None = None,
+    ) -> list[PendingPrediction]:
+        """Bulk intake with up-front fingerprint dedupe.
+
+        Duplicate graphs within one bulk call share a single ticket (and
+        a single model evaluation) *regardless* of cache configuration or
+        where auto-flush boundaries fall inside the call. The per-request
+        :meth:`submit` path cannot guarantee that: a duplicate submitted
+        after its twin was flushed re-enters through the cache, and with
+        a cold/zero-size cache it would be evaluated — and counted as a
+        miss — a second time. DSE-style workloads (hundreds of candidate
+        graphs per flush, many revisits) hit exactly that corner, so the
+        bulk path dedupes before anything is queued.
+
+        ``fingerprints`` may carry precomputed
+        :meth:`~repro.graph.data.GraphData.fingerprint` values aligned
+        with ``graphs`` (the DSE scoring path hashes a shared topology
+        context once per family instead of per candidate).
+        """
+        if fingerprints is not None and len(fingerprints) != len(graphs):
+            raise ValueError(
+                f"{len(fingerprints)} fingerprints for {len(graphs)} graphs"
+            )
+        self.stats.bulk_calls += 1
+        tickets: dict[str, PendingPrediction] = {}
+        out: list[PendingPrediction] = []
+        for index, graph in enumerate(graphs):
+            fingerprint = (
+                fingerprints[index] if fingerprints is not None else graph.fingerprint()
+            )
+            ticket = tickets.get(fingerprint)
+            if ticket is not None:
+                self.stats.requests += 1
+                self.stats.coalesced += 1
+            else:
+                ticket = self.submit(graph, fingerprint=fingerprint)
+                tickets[fingerprint] = ticket
+            out.append(ticket)
+        return out
+
+    def predict(
+        self,
+        graphs: list[GraphData],
+        fingerprints: list[str] | None = None,
+    ) -> np.ndarray:
         """Batched prediction for a list of graphs: ``[len(graphs), 4]``."""
         if not graphs:
             return np.empty((0, 4))
-        tickets = [self.submit(g) for g in graphs]
+        tickets = self.submit_many(graphs, fingerprints=fingerprints)
         self.flush()
         return np.stack([t.result() for t in tickets])
 

@@ -6,6 +6,8 @@ fixtures keep the suite fast while every test sees identical data.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -26,6 +28,21 @@ from repro.frontend import (
 from repro.typesys import CArray, CInt
 
 INT16, INT32 = CInt(16), CInt(32)
+
+
+def pytest_configure(config):
+    """Honour ``REPRO_DTYPE`` (CI's float64 matrix job).
+
+    The suite normally runs under the production float32 policy; setting
+    ``REPRO_DTYPE=float64`` re-runs every test under the opt-out path of
+    :func:`repro.tensor.set_default_dtype`, so both sides of the dtype
+    policy are exercised on every PR.
+    """
+    dtype = os.environ.get("REPRO_DTYPE")
+    if dtype:
+        from repro.tensor import set_default_dtype
+
+        set_default_dtype(np.dtype(dtype))
 
 
 @pytest.fixture(scope="session")

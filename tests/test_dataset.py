@@ -51,10 +51,13 @@ class TestFeatureEncoder:
         np.testing.assert_allclose(op_block.sum(axis=1), 1.0)
 
     def test_start_of_path_flags_sources(self):
+        from repro.dataset.features import DIRECTIVE_DIM
+
         graph = extract_cdfg(lower_program(make_loop_program()))
         encoder = FeatureEncoder()
         feats = encoder.encode_nodes(graph)
-        start_col = feats[:, encoder.base_dim - 3]
+        # Layout tail: [start, cluster, cluster misc, directives...].
+        start_col = feats[:, encoder.base_dim - 3 - DIRECTIVE_DIM]
         data_preds = graph.data_predecessor_counts()
         np.testing.assert_array_equal(start_col, (data_preds == 0).astype(float))
 

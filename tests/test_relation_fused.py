@@ -17,6 +17,8 @@ Four contracts:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -401,7 +403,17 @@ def test_fusion_norm_matches_relation_counts():
 # ---------------------------------------------------------------------------
 
 
+#: The CI float64 matrix job overrides the ambient policy via
+#: ``REPRO_DTYPE`` (see tests/conftest.py); tests asserting the shipped
+#: *factory* default are skipped there, tests about float32 *behaviour*
+#: pin the policy explicitly with ``default_dtype``.
+_POLICY_OVERRIDDEN = os.environ.get("REPRO_DTYPE", "float32") != "float32"
+
+
 class TestDtypePolicy:
+    @pytest.mark.skipif(
+        _POLICY_OVERRIDDEN, reason="REPRO_DTYPE overrides the factory default"
+    )
     def test_default_is_float32(self):
         assert get_default_dtype() == np.float32
         assert Tensor([1.0, 2.0]).dtype == np.float32
@@ -412,33 +424,36 @@ class TestDtypePolicy:
         assert Tensor(np.array([1.5, 2.5])).dtype == np.float64
 
     def test_default_dtype_context_scopes_policy(self):
+        previous = get_default_dtype()
         with default_dtype(np.float64):
             assert get_default_dtype() == np.float64
             assert Tensor([1.0]).dtype == np.float64
             assert Linear(2, 2).weight.dtype == np.float64
-        assert get_default_dtype() == np.float32
+        assert get_default_dtype() == previous
 
     def test_non_floating_default_rejected(self):
         with pytest.raises(ValueError):
             set_default_dtype(np.int32)
 
     def test_scalar_coercion_does_not_promote_float32(self):
-        x = Tensor(np.ones(3, dtype=np.float32))
-        assert (x + 1.0).dtype == np.float32
-        assert (x * 2).dtype == np.float32
-        assert (1.0 / x).dtype == np.float32
+        with default_dtype(np.float32):
+            x = Tensor(np.ones(3, dtype=np.float32))
+            assert (x + 1.0).dtype == np.float32
+            assert (x * 2).dtype == np.float32
+            assert (1.0 / x).dtype == np.float32
 
     def test_model_computes_float32_end_to_end(self, rng):
-        ctx = make_context()
-        layer = build_layer("rgcn", DIM, DIM, RELATIONS, rng)
-        x = Tensor(rng.normal(size=(ctx.num_nodes, DIM)).astype(np.float32),
-                   requires_grad=True)
-        out = layer(x, ctx)
-        out.sum().backward()
-        assert out.dtype == np.float32
-        assert x.grad.dtype == np.float32
-        assert all(p.grad is None or p.grad.dtype == np.float32
-                   for p in layer.parameters())
+        with default_dtype(np.float32):
+            ctx = make_context()
+            layer = build_layer("rgcn", DIM, DIM, RELATIONS, rng)
+            x = Tensor(rng.normal(size=(ctx.num_nodes, DIM)).astype(np.float32),
+                       requires_grad=True)
+            out = layer(x, ctx)
+            out.sum().backward()
+            assert out.dtype == np.float32
+            assert x.grad.dtype == np.float32
+            assert all(p.grad is None or p.grad.dtype == np.float32
+                       for p in layer.parameters())
 
     def test_scatter_mean_preserves_float32(self, rng):
         from repro.tensor import scatter_mean
@@ -470,15 +485,16 @@ class TestArtifactDtypeRoundTrip:
         return OffTheShelfPredictor(config).build({"graph": DIM})
 
     def test_float32_weights_survive_npz_bitwise(self, tmp_path):
-        predictor = self._build()
-        save_predictor(predictor, tmp_path / "art")
-        with np.load(tmp_path / "art" / "weights.npz") as archive:
-            assert all(archive[k].dtype == np.float32 for k in archive.files)
-        restored = load_predictor(tmp_path / "art")
-        for key, value in predictor.state_dict().items():
-            reloaded = restored.state_dict()[key]
-            assert reloaded.dtype == np.float32
-            np.testing.assert_array_equal(reloaded, value)
+        with default_dtype(np.float32):
+            predictor = self._build()
+            save_predictor(predictor, tmp_path / "art")
+            with np.load(tmp_path / "art" / "weights.npz") as archive:
+                assert all(archive[k].dtype == np.float32 for k in archive.files)
+            restored = load_predictor(tmp_path / "art")
+            for key, value in predictor.state_dict().items():
+                reloaded = restored.state_dict()[key]
+                assert reloaded.dtype == np.float32
+                np.testing.assert_array_equal(reloaded, value)
 
     def test_float64_policy_round_trip(self, tmp_path):
         with default_dtype(np.float64):

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.frontend import parse_c_source, to_c_source
+from repro.graph.data import GraphData
 from repro.graph.validation import GraphValidationError
 from repro.models import (
     HierarchicalPredictor,
@@ -230,6 +231,72 @@ def test_inflight_coalescing(fitted, split):
     assert service.stats.coalesced == 1
     assert service.stats.model_graphs == 1
     assert np.array_equal(t0.result(), t1.result())
+
+
+def test_bulk_dedupes_duplicates_across_flush_boundary(fitted, split):
+    """Regression: a duplicate fingerprint straddling an auto-flush inside
+    one bulk call must not be re-evaluated (or re-counted as a miss).
+
+    Before the bulk path deduped up front, ``predict([a, b, a])`` with
+    ``max_batch_size=2`` and the cache disabled evaluated ``a`` twice:
+    the first flush dropped ``a`` from the in-flight table, nothing was
+    cached, and the trailing duplicate looked brand new.
+    """
+    _, _, test = split
+    a, b = test[0], test[1]
+    service = PredictionService(
+        fitted["off_the_shelf"], ServiceConfig(max_batch_size=2, cache_size=0)
+    )
+    out = service.predict([a, b, a])
+    stats = service.stats
+    assert np.array_equal(out[0], out[2])
+    assert stats.model_graphs == 2  # a evaluated exactly once
+    assert (stats.requests, stats.cache_misses, stats.coalesced) == (3, 2, 1)
+    assert stats.requests == (
+        stats.cache_hits + stats.cache_misses + stats.coalesced + stats.rejected
+    )
+
+
+def test_bulk_dedupes_under_intra_flush_eviction(fitted, split):
+    """Same regression through the eviction corner: a cache smaller than
+    one bulk call's unique set cannot carry results across the intra-call
+    flush boundary, so dedupe must happen before queueing."""
+    _, _, test = split
+    a, b, c = test[0], test[1], test[2]
+    service = PredictionService(
+        fitted["off_the_shelf"], ServiceConfig(max_batch_size=3, cache_size=1)
+    )
+    service.predict([a, b, c, a])
+    stats = service.stats
+    assert stats.model_graphs == 3
+    assert (stats.requests, stats.cache_misses, stats.coalesced) == (4, 3, 1)
+    assert stats.model_graphs <= stats.cache_misses
+
+
+def test_stats_invariants_with_duplicates_and_rejections(fitted, split):
+    """requests == hits + misses + coalesced + rejected across mixed
+    traffic: bulk duplicates, cache hits and a validation rejection."""
+    _, _, test = split
+    a, b = test[0], test[1]
+    service = PredictionService(
+        fitted["off_the_shelf"], ServiceConfig(max_batch_size=8, cache_size=8)
+    )
+    service.predict([a, a, b])
+    service.predict_one(a)  # cache hit
+    bad = GraphData(
+        node_features=np.zeros((3, 2)),  # wrong feature width
+        edge_index=np.array([[0, 1], [1, 2]]),
+        edge_type=np.zeros(2),
+        edge_back=np.zeros(2),
+    )
+    with pytest.raises(ValueError):
+        service.submit(bad)
+    stats = service.stats
+    assert stats.rejected == 1
+    assert stats.bulk_calls == 1
+    assert stats.requests == (
+        stats.cache_hits + stats.cache_misses + stats.coalesced + stats.rejected
+    )
 
 
 def test_boundary_validation_rejects_bad_graphs(fitted, split):
