@@ -53,6 +53,13 @@ GATES: dict[str, list[tuple[str, str, float]]] = {
         ("batched_rps/naive_rps", "higher", 0.0),
         ("cached_rps/batched_rps", "higher", 0.0),
     ],
+    "BENCH_dataset.json": [
+        # Parallel-vs-serial scales with runner cores (the committed
+        # baseline may come from a small host); the warm-cache rebuild
+        # ratio is hardware-independent.
+        ("speedup", "higher", 0.0),
+        ("warm_cache_speedup", "higher", 0.0),
+    ],
 }
 
 

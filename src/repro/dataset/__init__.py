@@ -4,6 +4,16 @@ Mirrors Section 3 of the paper: node/edge features per Table 1, two task
 families (graph-level regression on DSP/LUT/FF/CP, node-level resource
 type classification), synthetic DFG/CDFG datasets from ldrgen and the
 real-case generalisation set from the three suites.
+
+Two construction paths share one sample definition:
+
+- :func:`build_synthetic_dataset` / :func:`build_realcase_dataset` —
+  simple in-process loops returning lists;
+- :func:`repro.dataset.pipeline.build_pipeline` — the production path:
+  a multiprocessing pool with deterministic per-sample seeding, a
+  content-addressed build cache, and incremental persistence to the
+  sharded ``manifest.json`` + ``shard-*.npz`` layout that
+  :class:`~repro.dataset.shards.ShardedDataset` streams back lazily.
 """
 
 from repro.dataset.features import (
@@ -18,6 +28,14 @@ from repro.dataset.builder import (
 )
 from repro.dataset.splits import split_dataset
 from repro.dataset.io import load_dataset, save_dataset
+from repro.dataset.pipeline import BuildCache, BuildStats, build_pipeline
+from repro.dataset.shards import (
+    ConcatDataset,
+    DatasetView,
+    Manifest,
+    ShardedDataset,
+    migrate_dataset,
+)
 from repro.dataset.stats import DatasetStats, compute_stats, render_stats
 
 __all__ = [
@@ -30,6 +48,14 @@ __all__ = [
     "split_dataset",
     "load_dataset",
     "save_dataset",
+    "BuildCache",
+    "BuildStats",
+    "build_pipeline",
+    "ConcatDataset",
+    "DatasetView",
+    "Manifest",
+    "ShardedDataset",
+    "migrate_dataset",
     "DatasetStats",
     "compute_stats",
     "render_stats",

@@ -1,26 +1,58 @@
-"""Dataset-generation CLI: ``python -m repro.dataset``.
+"""Dataset CLI: ``python -m repro.dataset``.
 
-Examples::
+Verbs::
+
+    # Parallel, cached, resumable sharded build (the production path)
+    python -m repro.dataset build --mode cdfg --count 40000 \\
+        --out data/cdfg-40k --workers 8 --shard-size 512 \\
+        --cache-dir data/cache --resume
+
+    # Convert a legacy single-.npz archive to the sharded layout
+    python -m repro.dataset migrate old.npz --out data/old-sharded
+
+Invoking without a verb keeps the original single-archive behaviour::
 
     python -m repro.dataset --mode dfg --count 500 --seed 0 --out dfg.npz
-    python -m repro.dataset --mode cdfg --count 300 --out cdfg.npz
-    python -m repro.dataset --mode real --out real.npz
 """
 
 from __future__ import annotations
 
 import argparse
+from typing import Sequence
 
 import numpy as np
 
 from repro.dataset.builder import build_realcase_dataset, build_synthetic_dataset
 from repro.dataset.io import save_dataset
+from repro.dataset.pipeline import DEFAULT_SHARD_SIZE, build_pipeline
+from repro.dataset.shards import migrate_dataset
+
+VERBS = ("build", "migrate")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _print_summary(samples: Sequence, destination: str) -> None:
+    # Single pass: ``samples`` may be a lazy ShardedDataset, where every
+    # traversal re-decompresses the shards.
+    nodes = edges = 0
+    ys = []
+    for sample in samples:
+        nodes += sample.num_nodes
+        edges += sample.num_edges
+        ys.append(sample.y)
+    targets = np.stack(ys)
+    print(f"wrote {len(ys)} graphs ({nodes} nodes, {edges} edges) to {destination}")
+    for i, name in enumerate(("DSP", "LUT", "FF", "CP")):
+        print(
+            f"  {name:3s}: min={targets[:, i].min():9.1f} "
+            f"median={np.median(targets[:, i]):9.1f} "
+            f"max={targets[:, i].max():9.1f}"
+        )
+
+
+def _run_legacy(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.dataset",
-        description="Generate labelled HLS benchmark datasets.",
+        description="Generate labelled HLS benchmark datasets (single .npz).",
     )
     parser.add_argument("--mode", choices=["dfg", "cdfg", "real"], required=True)
     parser.add_argument("--count", type=int, default=100,
@@ -34,18 +66,81 @@ def main(argv: list[str] | None = None) -> int:
     else:
         samples = build_synthetic_dataset(args.mode, args.count, seed=args.seed)
     save_dataset(samples, args.out)
-
-    nodes = sum(s.num_nodes for s in samples)
-    edges = sum(s.num_edges for s in samples)
-    targets = np.stack([s.y for s in samples])
-    print(f"wrote {len(samples)} graphs ({nodes} nodes, {edges} edges) to {args.out}")
-    for i, name in enumerate(("DSP", "LUT", "FF", "CP")):
-        print(
-            f"  {name:3s}: min={targets[:, i].min():9.1f} "
-            f"median={np.median(targets[:, i]):9.1f} "
-            f"max={targets[:, i].max():9.1f}"
-        )
+    _print_summary(samples, args.out)
     return 0
+
+
+def _run_build(args: argparse.Namespace) -> int:
+    dataset, stats = build_pipeline(
+        args.out,
+        args.mode,
+        None if args.mode == "real" else args.count,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+    )
+    print(
+        f"built {stats.built}/{stats.total} samples in {stats.seconds:.2f}s "
+        f"({stats.points_per_second:.1f} pts/s, workers={stats.workers}): "
+        f"{stats.shards_written} shards written, "
+        f"{stats.shards_skipped} resumed, "
+        f"cache {stats.cache_hits} hits / {stats.cache_misses} misses"
+    )
+    _print_summary(dataset, str(args.out))
+    return 0
+
+
+def _run_migrate(args: argparse.Namespace) -> int:
+    dataset = migrate_dataset(args.src, args.out, shard_size=args.shard_size)
+    print(
+        f"migrated {args.src} -> {args.out}: {len(dataset)} samples in "
+        f"{len(dataset.manifest.shards)} shards"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] not in VERBS:
+        return _run_legacy(argv)
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dataset",
+        description="Generate labelled HLS benchmark datasets.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    build = verbs.add_parser(
+        "build", help="parallel, cached, resumable sharded build"
+    )
+    build.add_argument("--mode", choices=["dfg", "cdfg", "real"], required=True)
+    build.add_argument("--count", type=int, default=100,
+                       help="number of synthetic programs (ignored for real)")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", required=True, help="output dataset directory")
+    build.add_argument("--workers", type=int, default=1,
+                       help="worker processes (output is identical for any N)")
+    build.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
+    build.add_argument("--cache-dir", default=None,
+                       help="content-addressed build cache directory")
+    build.add_argument("--resume", action="store_true",
+                       help="skip shards an interrupted build already wrote")
+    build.set_defaults(run=_run_build)
+
+    migrate = verbs.add_parser(
+        "migrate", help="convert a legacy single-.npz archive to shards"
+    )
+    migrate.add_argument("src", help="legacy .npz archive")
+    migrate.add_argument("--out", required=True, help="output dataset directory")
+    migrate.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
+    migrate.set_defaults(run=_run_migrate)
+
+    args = parser.parse_args(argv)
+    return args.run(args)
 
 
 if __name__ == "__main__":

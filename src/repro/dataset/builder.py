@@ -21,7 +21,7 @@ from repro.ir.cdfg import extract_cdfg
 from repro.ir.dfg import extract_dfg
 from repro.ir.graph import IRGraph
 from repro.ldrgen.config import GeneratorConfig
-from repro.ldrgen.generator import ProgramGenerator
+from repro.ldrgen.generator import generate_sample
 from repro.suites.registry import SUITE_NAMES, suite_programs
 
 
@@ -104,17 +104,22 @@ def build_synthetic_dataset(
     seed: int = 0,
     config: GeneratorConfig | None = None,
 ) -> list[GraphData]:
-    """ldrgen-generated DFG or CDFG dataset of ``num_programs`` samples."""
+    """ldrgen-generated DFG or CDFG dataset of ``num_programs`` samples.
+
+    Sample ``i`` is generated from its own derived seed stream
+    (:func:`repro.ldrgen.generator.sample_seed`), so this in-process
+    loop, the parallel :func:`repro.dataset.pipeline.build_pipeline`
+    and any single re-generated sample all agree bitwise.
+    """
     if num_programs <= 0:
         raise ValueError("num_programs must be positive")
     config = config or GeneratorConfig(mode=mode)
     if config.mode != mode:
         raise ValueError(f"config mode {config.mode!r} != requested {mode!r}")
-    generator = ProgramGenerator(config, seed=seed)
     encoder = FeatureEncoder()
     samples = []
-    for _ in range(num_programs):
-        program = generator.generate()
+    for index in range(num_programs):
+        program = generate_sample(config, seed, index)
         samples.append(
             build_graph(program, kind=mode, encoder=encoder, meta={"suite": "synthetic"})
         )

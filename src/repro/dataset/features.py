@@ -53,6 +53,12 @@ NUM_EDGE_TYPES_WITH_BACK = 2 * len(EdgeType)
 #: Directive feature columns: (log2 unroll, pipelined, clock ratio).
 DIRECTIVE_DIM = 3
 
+#: Bump whenever the meaning/layout of encoded features changes. The
+#: build cache and shard manifests key on the full encoder schema (see
+#: :meth:`FeatureEncoder.schema_key`), so stale on-disk samples are
+#: never silently reused across encoder revisions.
+FEATURE_SCHEMA_VERSION = 1
+
 
 def directive_features(
     function,
@@ -183,6 +189,21 @@ class FeatureEncoder:
         if self.with_resource_types:
             dim += 3
         return dim
+
+    def schema_key(self) -> str:
+        """Stable identity of the encoding this encoder produces.
+
+        Folds in the schema version, the derived feature width (which
+        itself depends on the opcode/category vocabularies) and the
+        knowledge flags — everything that decides whether two encoded
+        samples are interchangeable on disk.
+        """
+        return (
+            f"features-v{FEATURE_SCHEMA_VERSION}"
+            f":dim{self.feature_dim}"
+            f":rich{int(self.with_resource_values)}"
+            f":infused{int(self.with_resource_types)}"
+        )
 
     @property
     def directive_slice(self) -> slice:

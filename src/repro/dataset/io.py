@@ -1,21 +1,39 @@
-"""Dataset (de)serialisation to a single ``.npz`` archive + JSON metadata."""
+"""Dataset (de)serialisation.
+
+Two on-disk layouts share one packed columnar representation
+(concatenated arrays + offsets, metadata as a JSON byte blob):
+
+- the legacy single ``.npz`` archive written by :func:`save_dataset`;
+- the sharded ``manifest.json`` + ``shard-*.npz`` layout of
+  :mod:`repro.dataset.shards`, whose shards are each one packed archive.
+
+:func:`load_dataset` auto-detects the layout, so consumers written
+against the legacy format transparently read sharded builds (and
+``python -m repro.dataset migrate`` converts old archives forward).
+"""
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.graph.data import GraphData
 
 
-def save_dataset(samples: list[GraphData], path: str | Path) -> None:
-    """Store a dataset compactly: concatenated arrays with offsets."""
-    path = Path(path)
+def pack_samples(samples: Sequence[GraphData]) -> dict[str, np.ndarray]:
+    """Columnar payload for a sample list (the shared archive format)."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError(
+            "cannot serialise an empty sample list; datasets must contain "
+            "at least one graph"
+        )
     node_ptr = np.cumsum([0] + [s.num_nodes for s in samples])
     edge_ptr = np.cumsum([0] + [s.num_edges for s in samples])
-    payload = {
+    return {
         "node_ptr": node_ptr,
         "edge_ptr": edge_ptr,
         "node_features": np.concatenate([s.node_features for s in samples], axis=0),
@@ -29,29 +47,65 @@ def save_dataset(samples: list[GraphData], path: str | Path) -> None:
             json.dumps([s.meta for s in samples]).encode(), dtype=np.uint8
         ),
     }
-    np.savez_compressed(path, **payload)
+
+
+def unpack_samples(payload: Mapping[str, np.ndarray]) -> list[GraphData]:
+    """Inverse of :func:`pack_samples`.
+
+    ``payload`` may be a live ``np.load`` archive: every key is read
+    exactly once up front (``NpzFile`` decompresses per access, so
+    indexing inside the per-sample loop would decompress each column
+    once per sample).
+    """
+    node_ptr = np.asarray(payload["node_ptr"])
+    edge_ptr = np.asarray(payload["edge_ptr"])
+    node_features = np.asarray(payload["node_features"])
+    edge_index = np.asarray(payload["edge_index"])
+    edge_type = np.asarray(payload["edge_type"])
+    edge_back = np.asarray(payload["edge_back"])
+    y = np.asarray(payload["y"])
+    node_labels = np.asarray(payload["node_labels"])
+    node_resources = np.asarray(payload["node_resources"])
+    metas = json.loads(bytes(np.asarray(payload["meta_json"])).decode())
+    samples = []
+    for k in range(len(node_ptr) - 1):
+        n0, n1 = int(node_ptr[k]), int(node_ptr[k + 1])
+        e0, e1 = int(edge_ptr[k]), int(edge_ptr[k + 1])
+        samples.append(
+            GraphData(
+                node_features=node_features[n0:n1],
+                edge_index=edge_index[:, e0:e1],
+                edge_type=edge_type[e0:e1],
+                edge_back=edge_back[e0:e1],
+                y=y[k],
+                node_labels=node_labels[n0:n1],
+                node_resources=node_resources[n0:n1],
+                meta=metas[k],
+            )
+        )
+    return samples
+
+
+def save_dataset(samples: Sequence[GraphData], path: str | Path) -> None:
+    """Store a dataset compactly as one ``.npz`` (the legacy layout).
+
+    Raises :class:`ValueError` on an empty sample list instead of
+    crashing inside ``np.concatenate``.
+    """
+    np.savez_compressed(Path(path), **pack_samples(samples))
 
 
 def load_dataset(path: str | Path) -> list[GraphData]:
-    """Inverse of :func:`save_dataset`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        node_ptr = archive["node_ptr"]
-        edge_ptr = archive["edge_ptr"]
-        metas = json.loads(bytes(archive["meta_json"]).decode())
-        samples = []
-        for k in range(len(node_ptr) - 1):
-            n0, n1 = int(node_ptr[k]), int(node_ptr[k + 1])
-            e0, e1 = int(edge_ptr[k]), int(edge_ptr[k + 1])
-            samples.append(
-                GraphData(
-                    node_features=archive["node_features"][n0:n1],
-                    edge_index=archive["edge_index"][:, e0:e1] - 0,
-                    edge_type=archive["edge_type"][e0:e1],
-                    edge_back=archive["edge_back"][e0:e1],
-                    y=archive["y"][k],
-                    node_labels=archive["node_labels"][n0:n1],
-                    node_resources=archive["node_resources"][n0:n1],
-                    meta=metas[k],
-                )
-            )
-    return samples
+    """Load a dataset from either layout into a materialised list.
+
+    Accepts a legacy ``.npz`` archive, a sharded dataset directory or
+    its ``manifest.json``. For lazy, memory-bounded access to sharded
+    builds use :class:`repro.dataset.shards.ShardedDataset` directly.
+    """
+    from repro.dataset.shards import ShardedDataset, is_sharded
+
+    path = Path(path)
+    if is_sharded(path):
+        return ShardedDataset(path).materialize()
+    with np.load(path, allow_pickle=False) as archive:
+        return unpack_samples(archive)

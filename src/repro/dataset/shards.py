@@ -1,0 +1,368 @@
+"""Sharded on-disk dataset layout and lazy readers.
+
+Layout of a sharded dataset rooted at ``<root>/``::
+
+    <root>/manifest.json     # schema version, build provenance, shard table
+    <root>/shard-00000.npz   # packed columnar archive (repro.dataset.io)
+    <root>/shard-00001.npz
+    ...
+
+The manifest is rewritten (atomically, tmp + rename) after every shard
+the builder completes, with ``complete: false`` until the final shard
+lands — a killed build leaves a valid prefix that
+:func:`repro.dataset.pipeline.build_pipeline` resumes from by skipping
+every shard already on disk.
+
+Readers are lazy: :class:`ShardedDataset` decodes shards on demand and
+keeps only a small LRU of decoded shards in memory, so training can
+stream datasets far larger than RAM. :class:`DatasetView` is an
+index-selected view over any such source (what
+:func:`repro.dataset.splits.split_dataset` returns for streaming
+inputs), preserving laziness through train/val/test splitting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.dataset.io import pack_samples, unpack_samples
+from repro.graph.data import GraphData
+
+#: Bump on any incompatible change to the manifest/shard layout.
+SHARD_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_filename(index: int) -> str:
+    return f"shard-{index:05d}.npz"
+
+
+@dataclass
+class ShardInfo:
+    """One shard's entry in the manifest."""
+
+    file: str
+    start: int  # global index of the shard's first sample
+    num_samples: int
+
+
+@dataclass
+class Manifest:
+    """Self-describing header of a sharded dataset."""
+
+    schema_version: int = SHARD_SCHEMA_VERSION
+    complete: bool = False
+    num_samples: int = 0
+    shard_size: int = 0
+    encoder_schema: str = ""
+    #: Free-form build provenance (mode, count, seed, device, ...) used
+    #: by resumable builds to refuse mixing incompatible configurations.
+    build: dict = field(default_factory=dict)
+    shards: list[ShardInfo] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        raw = json.loads(text)
+        version = raw.get("schema_version")
+        if version != SHARD_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported shard schema {version!r} "
+                f"(supported: {SHARD_SCHEMA_VERSION})"
+            )
+        shards = [ShardInfo(**entry) for entry in raw.pop("shards", [])]
+        return cls(**{**raw, "shards": shards})
+
+    def save(self, root: str | Path) -> Path:
+        """Atomic write (tmp + rename) so a crash mid-write can never
+        leave a torn manifest behind."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(self.to_json())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, root: str | Path) -> "Manifest":
+        root = Path(root)
+        path = root if root.name == MANIFEST_NAME else root / MANIFEST_NAME
+        return cls.from_json(path.read_text())
+
+
+def is_sharded(path: str | Path) -> bool:
+    """True when ``path`` is a sharded dataset root (or its manifest)."""
+    path = Path(path)
+    if path.name == MANIFEST_NAME:
+        return path.exists()
+    return path.is_dir() and (path / MANIFEST_NAME).exists()
+
+
+def write_shard(
+    root: str | Path, index: int, start: int, samples: Sequence[GraphData]
+) -> ShardInfo:
+    """Persist one shard atomically and return its manifest entry."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    name = shard_filename(index)
+    tmp = root / (name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(handle, **pack_samples(samples))
+    os.replace(tmp, root / name)
+    return ShardInfo(file=name, start=start, num_samples=len(samples))
+
+
+def read_shard(root: str | Path, info: ShardInfo) -> list[GraphData]:
+    with np.load(Path(root) / info.file, allow_pickle=False) as archive:
+        samples = unpack_samples(archive)
+    if len(samples) != info.num_samples:
+        raise ValueError(
+            f"shard {info.file} holds {len(samples)} samples, manifest "
+            f"says {info.num_samples}"
+        )
+    return samples
+
+
+class ShardedDataset(Sequence[GraphData]):
+    """Lazy random-access reader over a sharded dataset.
+
+    Implements the :class:`~typing.Sequence` protocol, so it drops in
+    wherever a sample list is expected (splitting, batching, training);
+    the ``streaming`` marker tells the trainer to rebuild batches lazily
+    per epoch instead of materialising everything up front. At most
+    ``cache_shards`` decoded shards are held in memory.
+    """
+
+    #: Consumers (trainer, splits) key memory behaviour off this flag.
+    streaming = True
+
+    def __init__(
+        self,
+        root: str | Path,
+        cache_shards: int = 2,
+        require_complete: bool = True,
+    ):
+        root = Path(root)
+        if root.name == MANIFEST_NAME:
+            root = root.parent
+        self.root = root
+        self.manifest = Manifest.load(root)
+        if require_complete and not self.manifest.complete:
+            raise ValueError(
+                f"sharded dataset at {root} is incomplete (interrupted "
+                "build?); finish it with build_pipeline(..., resume=True) "
+                "or pass require_complete=False"
+            )
+        if cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+        self.cache_shards = cache_shards
+        self._cache: OrderedDict[int, list[GraphData]] = OrderedDict()
+        self._starts = np.array(
+            [info.start for info in self.manifest.shards], dtype=np.int64
+        )
+        covered = sum(info.num_samples for info in self.manifest.shards)
+        self._length = covered
+        if self.manifest.complete and covered != self.manifest.num_samples:
+            raise ValueError(
+                f"manifest covers {covered} samples but declares "
+                f"{self.manifest.num_samples}"
+            )
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _shard(self, shard_index: int) -> list[GraphData]:
+        cached = self._cache.get(shard_index)
+        if cached is not None:
+            self._cache.move_to_end(shard_index)
+            return cached
+        samples = read_shard(self.root, self.manifest.shards[shard_index])
+        self._cache[shard_index] = samples
+        while len(self._cache) > self.cache_shards:
+            self._cache.popitem(last=False)
+        return samples
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._length))]
+        index = int(index)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range for {self._length} samples")
+        shard_index = int(np.searchsorted(self._starts, index, side="right")) - 1
+        info = self.manifest.shards[shard_index]
+        return self._shard(shard_index)[index - info.start]
+
+    def gather(self, indices) -> list[GraphData]:
+        """Samples at ``indices`` (original order), grouped by shard.
+
+        A shuffled batch scatters across shards, so per-sample
+        ``__getitem__`` against the small LRU would decode the same
+        shard repeatedly; grouping decodes each distinct shard exactly
+        once per call. :class:`~repro.training.trainer.BatchStream`
+        routes streaming batch construction through here.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._length):
+            raise IndexError(f"gather indices out of range for {self._length} samples")
+        shard_of = np.searchsorted(self._starts, indices, side="right") - 1
+        out: list[GraphData | None] = [None] * len(indices)
+        for position in np.argsort(shard_of, kind="stable"):
+            shard_index = int(shard_of[position])
+            samples = self._shard(shard_index)
+            offset = self.manifest.shards[shard_index].start
+            out[int(position)] = samples[int(indices[position]) - offset]
+        return out
+
+    def __iter__(self) -> Iterator[GraphData]:
+        # Shard-sequential iteration: one decode per shard regardless of
+        # the LRU size.
+        for shard_index in range(len(self.manifest.shards)):
+            yield from self._shard(shard_index)
+
+    def iter_shards(self) -> Iterator[list[GraphData]]:
+        for shard_index in range(len(self.manifest.shards)):
+            yield self._shard(shard_index)
+
+    def materialize(self) -> list[GraphData]:
+        """Decode everything into one in-memory list (legacy behaviour)."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDataset(root={str(self.root)!r}, samples={self._length}, "
+            f"shards={len(self.manifest.shards)})"
+        )
+
+
+class DatasetView(Sequence[GraphData]):
+    """Index-selected view over a sample sequence, itself lazy.
+
+    Splitting a :class:`ShardedDataset` yields these instead of
+    materialised lists so train/val/test partitions keep streaming.
+    """
+
+    streaming = True
+
+    def __init__(self, base: Sequence[GraphData], indices):
+        self.base = base
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return DatasetView(self.base, self.indices[index])
+        return self.base[int(self.indices[int(index)])]
+
+    def gather(self, indices) -> list[GraphData]:
+        base_indices = self.indices[np.asarray(indices, dtype=np.int64)]
+        gather = getattr(self.base, "gather", None)
+        if gather is not None:
+            return gather(base_indices)
+        return [self.base[int(i)] for i in base_indices]
+
+    def __repr__(self) -> str:
+        return f"DatasetView(samples={len(self.indices)}, base={self.base!r})"
+
+
+class ConcatDataset(Sequence[GraphData]):
+    """Concatenation view over several sample sequences.
+
+    ``Sequence`` readers do not support ``+``; this keeps concatenation
+    (e.g. the joint DFG+CDFG training set of Table 5) lazy instead of
+    materialising both sides. Streaming propagates: the view streams iff
+    any part does, so plain-list concatenations still split into lists.
+    """
+
+    def __init__(self, *parts: Sequence[GraphData]):
+        if not parts:
+            raise ValueError("need at least one dataset to concatenate")
+        self.parts = list(parts)
+        self._offsets = np.cumsum([0] + [len(p) for p in self.parts])
+        self.streaming = any(getattr(p, "streaming", False) for p in self.parts)
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for {len(self)} samples")
+        part = int(np.searchsorted(self._offsets, index, side="right")) - 1
+        return part, index - int(self._offsets[part])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        part, local = self._locate(index)
+        return self.parts[part][local]
+
+    def __iter__(self) -> Iterator[GraphData]:
+        for part in self.parts:
+            yield from part
+
+    def gather(self, indices) -> list[GraphData]:
+        located = [self._locate(int(i)) for i in indices]
+        out: list[GraphData | None] = [None] * len(located)
+        for part_index, part in enumerate(self.parts):
+            wanted = [
+                (position, local)
+                for position, (p, local) in enumerate(located)
+                if p == part_index
+            ]
+            if not wanted:
+                continue
+            gather = getattr(part, "gather", None)
+            if gather is not None:
+                samples = gather([local for _, local in wanted])
+            else:
+                samples = [part[local] for _, local in wanted]
+            for (position, _), sample in zip(wanted, samples):
+                out[position] = sample
+        return out
+
+    def __repr__(self) -> str:
+        return f"ConcatDataset(parts={len(self.parts)}, samples={len(self)})"
+
+
+def migrate_dataset(
+    src: str | Path, out_dir: str | Path, shard_size: int = 256
+) -> "ShardedDataset":
+    """Convert a legacy single-``.npz`` archive to a sharded manifest."""
+    from repro.dataset.features import FeatureEncoder
+    from repro.dataset.io import load_dataset
+
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    samples = load_dataset(src)
+    manifest = Manifest(
+        complete=False,
+        num_samples=len(samples),
+        shard_size=shard_size,
+        encoder_schema=FeatureEncoder().schema_key(),
+        build={"source": "migrate", "origin": str(src)},
+    )
+    out_dir = Path(out_dir)
+    for shard_index, start in enumerate(range(0, len(samples), shard_size)):
+        chunk = samples[start : start + shard_size]
+        manifest.shards.append(write_shard(out_dir, shard_index, start, chunk))
+        manifest.save(out_dir)
+    manifest.complete = True
+    manifest.save(out_dir)
+    return ShardedDataset(out_dir)

@@ -2,28 +2,49 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.graph.data import GraphData
 
 
 def split_dataset(
-    samples: list[GraphData],
+    samples: Sequence[GraphData],
     fractions: tuple[float, float, float] = (0.8, 0.1, 0.1),
     seed: int = 0,
-) -> tuple[list[GraphData], list[GraphData], list[GraphData]]:
+):
     """Random train/validation/test split with at least one sample in
-    every non-empty partition."""
+    every non-empty partition.
+
+    Plain lists split into lists (unchanged behaviour). Streaming
+    sources — :class:`~repro.dataset.shards.ShardedDataset` and friends,
+    marked by ``streaming = True`` — split into lazy
+    :class:`~repro.dataset.shards.DatasetView` partitions instead, so a
+    shard-backed dataset is never materialised by splitting alone.
+    """
     if abs(sum(fractions) - 1.0) > 1e-9:
         raise ValueError(f"fractions must sum to 1, got {fractions}")
-    if not samples:
+    if not len(samples):
         raise ValueError("cannot split an empty dataset")
     order = np.random.default_rng(seed).permutation(len(samples))
     n = len(samples)
     n_train = max(1, int(round(fractions[0] * n)))
     n_val = max(1, int(round(fractions[1] * n))) if n > 2 else 0
     n_train = min(n_train, n - n_val - 1) if n > 2 else n_train
-    train = [samples[i] for i in order[:n_train]]
-    val = [samples[i] for i in order[n_train : n_train + n_val]]
-    test = [samples[i] for i in order[n_train + n_val :]]
+    if getattr(samples, "streaming", False):
+        from repro.dataset.shards import DatasetView
+
+        # Same index order as the list path, so a streaming split is
+        # sample-for-sample identical to the in-memory one.
+        def take(indices):
+            return DatasetView(samples, indices)
+    else:
+
+        def take(indices):
+            return [samples[i] for i in indices]
+
+    train = take(order[:n_train])
+    val = take(order[n_train : n_train + n_val])
+    test = take(order[n_train + n_val :])
     return train, val, test

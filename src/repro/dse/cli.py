@@ -104,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput-oriented serving choice; see BENCH_dse.json)",
     )
     explore_p.add_argument("--json", help="write the full result as JSON here")
+    explore_p.add_argument(
+        "--data-dir",
+        default=None,
+        help="build/load the predictor's training set as a sharded dataset "
+        "under this directory (parallel pipeline with REPRO_WORKERS "
+        "processes, content-cached and resumed across runs) instead of "
+        "rebuilding it in memory every invocation",
+    )
     return parser
 
 
@@ -139,6 +147,13 @@ def build_space(args: argparse.Namespace) -> DesignSpace:
 
 
 def load_or_train_predictor(args: argparse.Namespace):
+    if getattr(args, "data_dir", None):
+        # Route the common loaders through the sharded pipeline: the
+        # training set is built once (in parallel), persisted, and
+        # streamed on every later invocation.
+        import os
+
+        os.environ["REPRO_DATA_DIR"] = args.data_dir
     if args.registry:
         from repro.serve.registry import ModelRegistry
 

@@ -5,14 +5,28 @@ numpy backend runs the same pipeline at reduced scale. ``REPRO_SCALE``
 selects the preset globally (``ci`` / ``small`` / ``paper``); individual
 knobs can be overridden via ``REPRO_<FIELD>`` environment variables
 (e.g. ``REPRO_EPOCHS=10``).
+
+Dataset loading has two modes. By default samples are built in-process
+and held in memory (fine at ``ci`` scale). With ``REPRO_DATA_DIR`` set,
+the loaders route through :func:`repro.dataset.pipeline.build_pipeline`
+instead: datasets are built in parallel (``REPRO_WORKERS`` processes,
+content-cached under ``$REPRO_DATA_DIR/cache``), persisted as sharded
+archives under ``$REPRO_DATA_DIR``, resumed across interrupted runs,
+and returned as lazy :class:`~repro.dataset.shards.ShardedDataset`
+readers that stream into training. Both modes produce bitwise-identical
+samples (per-sample seeding), so experiment results do not depend on
+which one served them.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
 
 from repro.dataset.builder import build_realcase_dataset, build_synthetic_dataset
+from repro.dataset.pipeline import build_pipeline
 from repro.dataset.splits import split_dataset
 from repro.graph.data import GraphData
 from repro.models.base import PredictorConfig
@@ -114,31 +128,82 @@ def predictor_config(
 
 # ---------------------------------------------------------------------------
 # Dataset cache: building graphs (compile + HLS) is pure and deterministic,
-# so experiments within one process share them.
+# so experiments within one process share them. With REPRO_DATA_DIR set the
+# cache holds lazy ShardedDataset readers instead of materialised lists.
 # ---------------------------------------------------------------------------
-_CACHE: dict[tuple, list[GraphData]] = {}
+_CACHE: dict[tuple, Sequence[GraphData]] = {}
 
 
-def load_dfg_dataset(scale: ExperimentScale, seed: int = 0) -> list[GraphData]:
+def dataset_dir() -> Path | None:
+    """Root for persistent sharded datasets (``REPRO_DATA_DIR``)."""
+    root = os.environ.get("REPRO_DATA_DIR")
+    return Path(root) if root else None
+
+
+def dataset_workers() -> int:
+    """Worker processes for pipeline builds (``REPRO_WORKERS``, default 1)."""
+    return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+
+def _dtype_tag() -> str:
+    import numpy as np
+
+    from repro.tensor import get_default_dtype
+
+    return np.dtype(get_default_dtype()).name
+
+
+def _load_synthetic(mode: str, count: int, seed: int) -> Sequence[GraphData]:
+    root = dataset_dir()
+    if root is None:
+        return build_synthetic_dataset(mode, count, seed=seed)
+    # Builds are namespaced by dtype policy: manifests refuse to resume
+    # across configurations, so the float64 matrix job must not land in
+    # the float32 job's directory.
+    dataset, _ = build_pipeline(
+        root / f"{mode}-{count}-seed{seed}-{_dtype_tag()}",
+        mode,
+        count,
+        seed=seed,
+        workers=dataset_workers(),
+        cache_dir=root / "cache",
+        resume=True,
+    )
+    return dataset
+
+
+def load_dfg_dataset(scale: ExperimentScale, seed: int = 0) -> Sequence[GraphData]:
     key = ("dfg", scale.num_dfg, seed)
     if key not in _CACHE:
-        _CACHE[key] = build_synthetic_dataset("dfg", scale.num_dfg, seed=seed)
+        _CACHE[key] = _load_synthetic("dfg", scale.num_dfg, seed)
     return _CACHE[key]
 
 
-def load_cdfg_dataset(scale: ExperimentScale, seed: int = 0) -> list[GraphData]:
+def load_cdfg_dataset(scale: ExperimentScale, seed: int = 0) -> Sequence[GraphData]:
     key = ("cdfg", scale.num_cdfg, seed)
     if key not in _CACHE:
-        _CACHE[key] = build_synthetic_dataset("cdfg", scale.num_cdfg, seed=seed)
+        _CACHE[key] = _load_synthetic("cdfg", scale.num_cdfg, seed)
     return _CACHE[key]
 
 
-def load_real_dataset() -> list[GraphData]:
+def load_real_dataset() -> Sequence[GraphData]:
     key = ("real",)
     if key not in _CACHE:
-        _CACHE[key] = build_realcase_dataset()
+        root = dataset_dir()
+        if root is None:
+            _CACHE[key] = build_realcase_dataset()
+        else:
+            dataset, _ = build_pipeline(
+                root / f"real-{_dtype_tag()}",
+                "real",
+                workers=dataset_workers(),
+                cache_dir=root / "cache",
+                resume=True,
+            )
+            _CACHE[key] = dataset
     return _CACHE[key]
 
 
-def split(scale: ExperimentScale, samples: list[GraphData], seed: int = 0):
+def split(scale: ExperimentScale, samples: Sequence[GraphData], seed: int = 0):
+    """Split into train/val/test — lazy views for streaming sources."""
     return split_dataset(samples, seed=seed)

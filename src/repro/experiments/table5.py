@@ -20,6 +20,7 @@ from repro.experiments.common import (
     load_real_dataset,
     predictor_config,
 )
+from repro.dataset.shards import ConcatDataset
 from repro.dataset.splits import split_dataset
 from repro.experiments.table4 import APPROACHES, _SUFFIX, make_predictor
 from repro.training.metrics import mape
@@ -43,7 +44,9 @@ def run_table5(
 ) -> dict:
     """Returns ``{"HLS": MAPE[4], "<BACKBONE><suffix>": MAPE[4], ...}``."""
     scale = scale or get_scale()
-    synthetic = load_dfg_dataset(scale) + load_cdfg_dataset(scale)
+    # ConcatDataset, not `+`: the loaders return lazy Sequence readers
+    # when REPRO_DATA_DIR routes them through the sharded pipeline.
+    synthetic = ConcatDataset(load_dfg_dataset(scale), load_cdfg_dataset(scale))
     train, val, _ = split_dataset(synthetic, fractions=(0.85, 0.15, 0.0), seed=0)
     real = load_real_dataset()
     results: dict[str, np.ndarray] = {"HLS": hls_report_mape(real)}

@@ -72,17 +72,38 @@ class Batch:
         )
 
 
+def batch_schedule(
+    num_graphs: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Index chunks for one pass over ``num_graphs`` samples.
+
+    Drawn once and replayed, this is what makes streaming training
+    (lazy shard-backed batches, rebuilt every epoch) bitwise-identical
+    to in-memory training (batches materialised once): both paths
+    consume the same schedule from the same rng draw.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(num_graphs)
+    if rng is not None:
+        rng.shuffle(order)
+    return [
+        order[start : start + batch_size]
+        for start in range(0, num_graphs, batch_size)
+    ]
+
+
 def iter_batches(
     graphs: Sequence[GraphData],
     batch_size: int,
     rng: np.random.Generator | None = None,
 ):
-    """Yield :class:`Batch` objects, shuffling when ``rng`` is given."""
-    if batch_size <= 0:
-        raise ValueError("batch_size must be positive")
-    order = np.arange(len(graphs))
-    if rng is not None:
-        rng.shuffle(order)
-    for start in range(0, len(graphs), batch_size):
-        chunk = [graphs[i] for i in order[start : start + batch_size]]
-        yield Batch(chunk)
+    """Yield :class:`Batch` objects, shuffling when ``rng`` is given.
+
+    ``graphs`` may be any sequence, including the lazy shard-backed
+    readers from :mod:`repro.dataset.shards`.
+    """
+    for chunk in batch_schedule(len(graphs), batch_size, rng):
+        yield Batch([graphs[int(i)] for i in chunk])

@@ -14,6 +14,17 @@ program and node counts stay faithful to the source.
 """
 
 from repro.ldrgen.config import GeneratorConfig
-from repro.ldrgen.generator import ProgramGenerator, generate_program
+from repro.ldrgen.generator import (
+    ProgramGenerator,
+    generate_program,
+    generate_sample,
+    sample_seed,
+)
 
-__all__ = ["GeneratorConfig", "ProgramGenerator", "generate_program"]
+__all__ = [
+    "GeneratorConfig",
+    "ProgramGenerator",
+    "generate_program",
+    "generate_sample",
+    "sample_seed",
+]

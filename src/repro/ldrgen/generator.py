@@ -23,6 +23,20 @@ from repro.ldrgen.config import GeneratorConfig
 from repro.ldrgen.expressions import ExpressionSampler
 
 
+def sample_seed(base_seed: int, index: int) -> np.random.SeedSequence:
+    """Independent deterministic rng stream for sample ``index`` of a
+    dataset keyed by ``base_seed``.
+
+    ``SeedSequence`` spawn keys guarantee stream independence, so sample
+    ``i`` comes out bitwise-identical whether it is generated alone, in
+    order, or on any worker of a multiprocessing pool — the seeding
+    contract :mod:`repro.dataset.pipeline` builds on.
+    """
+    if index < 0:
+        raise ValueError(f"sample index must be non-negative, got {index}")
+    return np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+
+
 class ProgramGenerator:
     """Seeded generator producing one :class:`Program` per call."""
 
@@ -30,6 +44,17 @@ class ProgramGenerator:
         self.config = config
         self.rng = np.random.default_rng(seed)
         self._program_counter = 0
+
+    @classmethod
+    def at_index(
+        cls, config: GeneratorConfig, base_seed: int, index: int
+    ) -> "ProgramGenerator":
+        """Generator positioned to emit exactly sample ``index`` of the
+        per-sample-seeded stream (0-based; program names stay 1-based)."""
+        generator = cls(config, seed=0)
+        generator.rng = np.random.default_rng(sample_seed(base_seed, index))
+        generator._program_counter = index
+        return generator
 
     # -- public API --------------------------------------------------------
     def generate(self) -> Program:
@@ -251,3 +276,13 @@ class ProgramGenerator:
 def generate_program(config: GeneratorConfig, seed: int) -> Program:
     """One-shot convenience wrapper."""
     return ProgramGenerator(config, seed=seed).generate()
+
+
+def generate_sample(config: GeneratorConfig, base_seed: int, index: int) -> Program:
+    """Sample ``index`` of the dataset keyed by ``base_seed``.
+
+    Order- and worker-independent: the dataset builders and the parallel
+    pipeline both call this, which is what makes ``workers=N`` output
+    bitwise-identical to a serial build.
+    """
+    return ProgramGenerator.at_index(config, base_seed, index).generate()

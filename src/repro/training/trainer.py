@@ -2,31 +2,44 @@
 
 Targets are regressed in ``log1p`` space (resource counts span three
 orders of magnitude) and mapped back with ``expm1`` for MAPE evaluation.
-Training *and* validation batches are built once before the epoch loop,
-and each :class:`~repro.gnn.message_passing.GraphContext` — with its
-symmetrised edges, GCN norms, relation partition and scatter plans — is
-cached on its batch by ``GraphContext.from_batch``, so every epoch after
-the first reuses the precomputed topology instead of rebuilding it; on a
-numpy backend that construction is a significant share of the per-step
-cost. All batching goes through
-:func:`repro.graph.batch.iter_batches` (shuffled for training, ordered
-for the predict/evaluate helpers).
+
+All batching — training, validation, the predict/evaluate helpers —
+goes through :class:`BatchStream`, which draws one batch schedule
+(:func:`repro.graph.batch.batch_schedule`) and replays it every epoch:
+
+- **in-memory lists** materialise their :class:`~repro.graph.batch.
+  Batch` objects once and reuse them, so each batch's cached
+  :class:`~repro.gnn.message_passing.GraphContext` (symmetrised edges,
+  GCN norms, relation partition, scatter plans) is built exactly once
+  across all epochs;
+- **streaming sources** (``streaming = True`` — e.g.
+  :class:`~repro.dataset.shards.ShardedDataset` or the
+  :class:`~repro.dataset.shards.DatasetView` partitions produced by
+  splitting one) rebuild batches lazily from the reader on every pass,
+  holding only the current batch plus the reader's small shard LRU in
+  memory. The replayed schedule makes the loss curve bitwise-identical
+  to the in-memory path.
+
+Validation batches are always prebuilt and reused across epochs (the
+validation set is small; context reuse there dominates).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.gnn.network import GraphRegressor, NodeClassifier
-from repro.graph.batch import Batch, iter_batches
+from repro.graph.batch import Batch, batch_schedule
 from repro.graph.data import GraphData
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, get_default_dtype, no_grad
 from repro.training.losses import bce_with_logits, mse_loss
 from repro.training.metrics import binary_accuracy, mape
+
+GraphSource = Sequence[GraphData]
 
 
 @dataclass
@@ -52,46 +65,50 @@ class TrainResult:
     best_state: dict[str, np.ndarray] | None = None
 
 
-def _target_matrix(batch: Batch) -> np.ndarray:
-    if batch.y is None:
-        raise ValueError("batch lacks graph targets")
-    # Loss targets follow the model's precision policy so a float32
-    # forward is not silently promoted to float64 by the loss.
-    return np.log1p(batch.y).astype(get_default_dtype())
+class BatchStream:
+    """Epoch-reiterable batch source over a graph sequence.
 
-
-def _forward_batches(
-    model, batches: Sequence[Batch], transform: Callable[[np.ndarray], np.ndarray]
-) -> np.ndarray:
-    """Eval-mode, no-grad forward over prebuilt batches.
-
-    Reused batches keep their cached contexts, so calling this every
-    epoch (the validation loop) pays for topology precomputation once.
-    The model's train/eval mode is restored on exit, so eval-mode models
-    (the common case when serving) stay in eval mode.
+    The schedule (sample permutation + batch boundaries) is drawn once
+    at construction; every iteration replays it. In-memory sources
+    prebuild their batches, streaming sources rebuild them lazily per
+    pass — see the module docstring for why both yield identical runs.
     """
-    was_training = model.training
-    model.eval()
-    outputs = []
-    with no_grad():
-        for batch in batches:
-            outputs.append(transform(model(batch).data))
-    model.train(was_training)
-    return np.concatenate(outputs, axis=0)
 
+    def __init__(
+        self,
+        graphs: GraphSource,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        self.graphs = graphs
+        self.schedule = batch_schedule(len(graphs), batch_size, rng)
+        self.num_graphs = len(graphs)
+        self.streaming = bool(getattr(graphs, "streaming", False))
+        self._prebuilt: list[Batch] | None = None
+        if not self.streaming:
+            self._prebuilt = [self._build(chunk) for chunk in self.schedule]
 
-def predict_regressor(model: GraphRegressor, graphs: list[GraphData], batch_size: int = 64) -> np.ndarray:
-    """Predict raw-scale targets for a list of graphs."""
-    batches = list(iter_batches(graphs, batch_size))
-    return _forward_batches(model, batches, np.expm1)
+    def _build(self, chunk: np.ndarray) -> Batch:
+        # Streaming readers expose ``gather`` (shard-grouped loads: each
+        # distinct shard is decoded once per batch, not once per sample).
+        gather = getattr(self.graphs, "gather", None)
+        if gather is not None:
+            return Batch(gather(chunk))
+        return Batch([self.graphs[int(i)] for i in chunk])
 
+    def __len__(self) -> int:
+        return len(self.schedule)
 
-def _evaluate_regressor_batches(
-    model: GraphRegressor, batches: Sequence[Batch]
-) -> np.ndarray:
-    pred = _forward_batches(model, batches, np.expm1)
-    target = np.concatenate([_require_targets(b) for b in batches], axis=0)
-    return mape(pred, target)
+    def __iter__(self):
+        if self._prebuilt is not None:
+            yield from self._prebuilt
+        else:
+            for chunk in self.schedule:
+                yield self._build(chunk)
+
+    def materialized(self) -> list[Batch]:
+        """The stream as a reusable batch list (prebuilt where possible)."""
+        return self._prebuilt if self._prebuilt is not None else list(self)
 
 
 def _require_targets(batch: Batch) -> np.ndarray:
@@ -100,9 +117,69 @@ def _require_targets(batch: Batch) -> np.ndarray:
     return batch.y
 
 
+def _require_node_labels(batch: Batch) -> np.ndarray:
+    if batch.node_labels is None:
+        raise ValueError("batch lacks node labels")
+    return batch.node_labels
+
+
+def _target_matrix(batch: Batch) -> np.ndarray:
+    # Loss targets follow the model's precision policy so a float32
+    # forward is not silently promoted to float64 by the loss.
+    return np.log1p(_require_targets(batch)).astype(get_default_dtype())
+
+
+def _label_matrix(batch: Batch) -> np.ndarray:
+    return _require_node_labels(batch).astype(get_default_dtype())
+
+
+def _forward_batches(
+    model,
+    batches: Iterable[Batch],
+    transform: Callable[[np.ndarray], np.ndarray],
+    extract: Callable[[Batch], np.ndarray] | None = None,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Eval-mode, no-grad forward over a batch iterable, single pass.
+
+    Reused batches keep their cached contexts, so calling this every
+    epoch (the validation loop) pays for topology precomputation once.
+    ``extract`` optionally collects per-batch reference arrays (targets,
+    labels) in the same pass, which keeps streaming sources to one
+    traversal. The model's train/eval mode is restored on exit, so
+    eval-mode models (the common case when serving) stay in eval mode.
+    """
+    was_training = model.training
+    model.eval()
+    outputs, extras = [], []
+    with no_grad():
+        for batch in batches:
+            outputs.append(transform(model(batch).data))
+            if extract is not None:
+                extras.append(extract(batch))
+    model.train(was_training)
+    stacked = np.concatenate(outputs, axis=0)
+    if extract is None:
+        return stacked
+    return stacked, np.concatenate(extras, axis=0)
+
+
+def predict_regressor(
+    model: GraphRegressor, graphs: GraphSource, batch_size: int = 64
+) -> np.ndarray:
+    """Predict raw-scale targets for a sequence of graphs."""
+    return _forward_batches(model, BatchStream(graphs, batch_size), np.expm1)
+
+
+def _evaluate_regressor_batches(
+    model: GraphRegressor, batches: Iterable[Batch]
+) -> np.ndarray:
+    pred, target = _forward_batches(model, batches, np.expm1, _require_targets)
+    return mape(pred, target)
+
+
 def evaluate_regressor(
     model: GraphRegressor,
-    graphs: list[GraphData],
+    graphs: GraphSource,
     batch_size: int = 64,
     batches: Sequence[Batch] | None = None,
 ) -> np.ndarray:
@@ -113,13 +190,13 @@ def evaluate_regressor(
     exactly ``graphs``.
     """
     if batches is None:
-        batches = list(iter_batches(graphs, batch_size))
+        batches = BatchStream(graphs, batch_size)
     else:
         _check_batches_cover(batches, graphs)
     return _evaluate_regressor_batches(model, batches)
 
 
-def _check_batches_cover(batches: Sequence[Batch], graphs: list[GraphData]) -> None:
+def _check_batches_cover(batches: Sequence[Batch], graphs: GraphSource) -> None:
     if sum(b.num_graphs for b in batches) != len(graphs):
         raise ValueError(
             "prebuilt batches do not cover the given graphs; pass the "
@@ -129,29 +206,34 @@ def _check_batches_cover(batches: Sequence[Batch], graphs: list[GraphData]) -> N
 
 def train_graph_regressor(
     model: GraphRegressor,
-    train_graphs: list[GraphData],
-    val_graphs: list[GraphData],
+    train_graphs: GraphSource,
+    val_graphs: GraphSource,
     config: TrainConfig = TrainConfig(),
 ) -> TrainResult:
-    """Fit the regressor, restoring the best-validation-MAPE weights."""
+    """Fit the regressor, restoring the best-validation-MAPE weights.
+
+    ``train_graphs``/``val_graphs`` may be in-memory lists or streaming
+    readers (:class:`~repro.dataset.shards.ShardedDataset` /
+    :class:`~repro.dataset.shards.DatasetView`); both produce identical
+    results on a fixed seed.
+    """
     rng = np.random.default_rng(config.seed)
-    batches = list(iter_batches(train_graphs, config.batch_size, rng))
-    val_batches = list(iter_batches(val_graphs, 64))
-    targets = [Tensor(_target_matrix(b)) for b in batches]
+    stream = BatchStream(train_graphs, config.batch_size, rng)
+    val_batches = BatchStream(val_graphs, 64).materialized()
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
     best = (0, np.inf, model.state_dict())
     history = []
     stall = 0
     for epoch in range(1, config.epochs + 1):
         epoch_loss = 0.0
-        for batch, target in zip(batches, targets):
+        for batch in stream:
             optimizer.zero_grad()
-            loss = mse_loss(model(batch), target)
+            loss = mse_loss(model(batch), Tensor(_target_matrix(batch)))
             loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
             epoch_loss += float(loss.data) * batch.num_graphs
-        epoch_loss /= len(train_graphs)
+        epoch_loss /= stream.num_graphs
         val_mape = float(
             np.mean(evaluate_regressor(model, val_graphs, batches=val_batches))
         )
@@ -175,29 +257,31 @@ def train_graph_regressor(
 
 
 def predict_node_logits(
-    model: NodeClassifier, graphs: list[GraphData], batch_size: int = 64
+    model: NodeClassifier, graphs: GraphSource, batch_size: int = 64
 ) -> np.ndarray:
-    batches = list(iter_batches(graphs, batch_size))
-    return _forward_batches(model, batches, lambda data: data)
+    return _forward_batches(
+        model, BatchStream(graphs, batch_size), lambda data: data
+    )
 
 
 def _evaluate_node_classifier_batches(
-    model: NodeClassifier, batches: Sequence[Batch]
+    model: NodeClassifier, batches: Iterable[Batch]
 ) -> np.ndarray:
-    logits = _forward_batches(model, batches, lambda data: data)
-    labels = np.concatenate([b.node_labels for b in batches], axis=0)
+    logits, labels = _forward_batches(
+        model, batches, lambda data: data, _require_node_labels
+    )
     return binary_accuracy(logits, labels)
 
 
 def evaluate_node_classifier(
     model: NodeClassifier,
-    graphs: list[GraphData],
+    graphs: GraphSource,
     batch_size: int = 64,
     batches: Sequence[Batch] | None = None,
 ) -> np.ndarray:
     """Per-task (DSP/LUT/FF) classification accuracy over all nodes."""
     if batches is None:
-        batches = list(iter_batches(graphs, batch_size))
+        batches = BatchStream(graphs, batch_size)
     else:
         _check_batches_cover(batches, graphs)
     return _evaluate_node_classifier_batches(model, batches)
@@ -205,29 +289,30 @@ def evaluate_node_classifier(
 
 def train_node_classifier(
     model: NodeClassifier,
-    train_graphs: list[GraphData],
-    val_graphs: list[GraphData],
+    train_graphs: GraphSource,
+    val_graphs: GraphSource,
     config: TrainConfig = TrainConfig(),
 ) -> TrainResult:
     """Fit the node-level resource-type classifier (3 binary tasks)."""
     rng = np.random.default_rng(config.seed)
-    batches = list(iter_batches(train_graphs, config.batch_size, rng))
-    val_batches = list(iter_batches(val_graphs, 64))
-    targets = [Tensor(b.node_labels.astype(get_default_dtype())) for b in batches]
+    stream = BatchStream(train_graphs, config.batch_size, rng)
+    val_batches = BatchStream(val_graphs, 64).materialized()
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
     best = (0, -np.inf, model.state_dict())
     history = []
     stall = 0
     for epoch in range(1, config.epochs + 1):
         epoch_loss = 0.0
-        for batch, target in zip(batches, targets):
+        epoch_nodes = 0
+        for batch in stream:
             optimizer.zero_grad()
-            loss = bce_with_logits(model(batch), target)
+            loss = bce_with_logits(model(batch), Tensor(_label_matrix(batch)))
             loss.backward()
             clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
             epoch_loss += float(loss.data) * batch.num_nodes
-        epoch_loss /= sum(g.num_nodes for g in train_graphs)
+            epoch_nodes += batch.num_nodes
+        epoch_loss /= epoch_nodes
         val_acc = float(
             np.mean(evaluate_node_classifier(model, val_graphs, batches=val_batches))
         )
