@@ -107,3 +107,33 @@ def test_gnn_forward_backward(benchmark, training_batch):
 @pytest.mark.benchmark(group="pipeline")
 def test_context_construction(benchmark, training_batch):
     benchmark(lambda: GraphContext.from_batch(training_batch, 8))
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_hls_flow_span_profile(benchmark, lowered):
+    """Per-phase cost of the HLS flow via the obs span tracer.
+
+    Same flow as ``test_hls_flow``, but run under a scoped tracer so the
+    schedule/bind/implement/report split lands in ``extra_info`` — the
+    phase-level trajectory, not just the end-to-end number.
+    """
+    from repro.obs import use_tracer
+
+    functions = iter(lowered * 1000)
+    with use_tracer() as tracer:
+        benchmark(lambda: run_hls(next(functions)))
+    spans = tracer.snapshot()
+    flow_calls = spans["hls.flow"]["count"]
+    assert flow_calls > 0
+    benchmark.extra_info.update(
+        {
+            path: round(1000 * entry["self_s"] / entry["count"], 4)
+            for path, entry in spans.items()
+        }
+    )
+    # Phase self-times must account for the flow total (no unexplained
+    # gap beyond the flow's own glue work).
+    phase_s = sum(
+        entry["self_s"] for path, entry in spans.items() if "/" in path
+    )
+    assert phase_s <= spans["hls.flow"]["total_s"]

@@ -17,10 +17,11 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import throughput_summary, write_bench_json
+from benchmarks.conftest import write_bench_json
 from repro.dataset import build_synthetic_dataset
 from repro.experiments.common import predictor_config
 from repro.models import OffTheShelfPredictor
+from repro.obs import throughput_summary
 from repro.serve import ModelRegistry, PredictionService, ServiceConfig
 from repro.serve.cli import main as serve_main
 

@@ -87,15 +87,6 @@ def write_bench_json(name: str, payload: dict) -> Path | None:
     return path
 
 
-def throughput_summary(timings: dict[str, float], requests: int) -> dict:
-    """Flatten {label: seconds} serving timings into rps/latency extra_info."""
-    summary: dict[str, float] = {"requests": requests}
-    for label, seconds in timings.items():
-        summary[f"{label}_rps"] = round(requests / seconds, 1)
-        summary[f"{label}_latency_ms"] = round(1000 * seconds / requests, 3)
-    return summary
-
-
 def mape_summary(results: dict) -> dict:
     """Flatten nested {model: {dataset: ndarray}} MAPEs for extra_info."""
     flat = {}

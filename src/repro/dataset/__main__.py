@@ -71,16 +71,28 @@ def _run_legacy(argv: list[str]) -> int:
 
 
 def _run_build(args: argparse.Namespace) -> int:
-    dataset, stats = build_pipeline(
-        args.out,
-        args.mode,
-        None if args.mode == "real" else args.count,
-        seed=args.seed,
-        workers=args.workers,
-        shard_size=args.shard_size,
-        cache_dir=args.cache_dir,
-        resume=args.resume,
-    )
+    import contextlib
+
+    scope = contextlib.nullcontext()
+    if args.obs:
+        from repro.obs import RunLedger
+
+        scope = RunLedger(
+            "dataset-build",
+            meta={"mode": args.mode, "workers": args.workers},
+            config={"mode": args.mode, "count": args.count, "seed": args.seed},
+        )
+    with scope:
+        dataset, stats = build_pipeline(
+            args.out,
+            args.mode,
+            None if args.mode == "real" else args.count,
+            seed=args.seed,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
     print(
         f"built {stats.built}/{stats.total} samples in {stats.seconds:.2f}s "
         f"({stats.points_per_second:.1f} pts/s, workers={stats.workers}): "
@@ -129,6 +141,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="content-addressed build cache directory")
     build.add_argument("--resume", action="store_true",
                        help="skip shards an interrupted build already wrote")
+    build.add_argument("--obs", action="store_true",
+                       help="record the build (stats + spans) under REPRO_OBS_DIR")
     build.set_defaults(run=_run_build)
 
     migrate = verbs.add_parser(

@@ -63,6 +63,7 @@ from repro.graph.data import GraphData
 from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
 from repro.ldrgen.config import GeneratorConfig
 from repro.ldrgen.generator import generate_sample
+from repro.obs import active_ledger, get_registry, get_tracer, trace
 from repro.suites.registry import SUITE_NAMES, suite_programs
 from repro.tensor import get_default_dtype
 
@@ -98,7 +99,11 @@ class BuildStats:
             "shards_skipped": self.shards_skipped,
             "workers": self.workers,
             "seconds": round(self.seconds, 3),
+            "points_per_second": round(self.points_per_second, 1),
         }
+
+    # Ledger-facing name; same payload as the historical as_dict.
+    to_dict = as_dict
 
 
 def _directive_footprint(program: Program) -> str:
@@ -318,22 +323,27 @@ def _build_one(spec: dict, index: int) -> tuple[int, GraphData, bool]:
         program, suite = _real_program_table(spec["suites"])[index]
         kind = "cdfg"
     else:
-        program = generate_sample(spec["config"], spec["seed"], index)
+        with trace("pipeline.generate"):
+            program = generate_sample(spec["config"], spec["seed"], index)
         suite, kind = "synthetic", mode
 
     if cache is None:
-        sample = build_graph(
-            program, kind=kind, encoder=encoder, meta={"suite": suite}, device=device
-        )
+        with trace("pipeline.build_graph"):
+            sample = build_graph(
+                program, kind=kind, encoder=encoder, meta={"suite": suite},
+                device=device,
+            )
         return index, sample, False
 
     key = cache_key(program, kind, device, encoder)
     sample = cache.get(key)
     hit = sample is not None
     if not hit:
-        sample = build_graph(
-            program, kind=kind, encoder=encoder, meta={"suite": suite}, device=device
-        )
+        with trace("pipeline.build_graph"):
+            sample = build_graph(
+                program, kind=kind, encoder=encoder, meta={"suite": suite},
+                device=device,
+            )
         cache.put(key, sample)
     if dkey is not None:
         cache.put_key(dkey, key)
@@ -348,8 +358,16 @@ def _init_worker(spec: dict) -> None:
     set_default_dtype(np.dtype(spec["dtype"]))
 
 
-def _pool_build(index: int) -> tuple[int, GraphData, bool]:
-    return _build_one(_SPEC, index)
+def _pool_build(index: int) -> tuple[int, GraphData, bool, dict]:
+    """Worker task: the built sample plus the worker tracer's spans.
+
+    Each worker process aggregates spans into its own process-global
+    tracer; draining per result ships the accumulated table to the
+    driver piggybacked on the sample (merge-on-join), so span telemetry
+    survives multiprocessing without shared state.
+    """
+    index, sample, hit = _build_one(_SPEC, index)
+    return index, sample, hit, get_tracer().drain()
 
 
 def _result_stream(
@@ -359,7 +377,9 @@ def _result_stream(
 
     ``workers <= 1`` builds in-process (no pool overhead — this is also
     the serial baseline the benchmark compares against); otherwise a
-    pool of ``workers`` processes feeds an ordered ``imap``.
+    pool of ``workers`` processes feeds an ordered ``imap``, and each
+    worker's span telemetry is merged into the driver's tracer as its
+    results arrive.
     """
     if workers <= 1 or len(indices) <= 1:
         for index in indices:
@@ -369,10 +389,16 @@ def _result_stream(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     )
     chunksize = max(1, min(32, len(indices) // (workers * 4)))
+    tracer = get_tracer()
     with context.Pool(
         processes=workers, initializer=_init_worker, initargs=(spec,)
     ) as pool:
-        yield from pool.imap(_pool_build, indices, chunksize=chunksize)
+        for index, sample, hit, spans in pool.imap(
+            _pool_build, indices, chunksize=chunksize
+        ):
+            if spans:
+                tracer.merge(spans)
+            yield index, sample, hit
 
 
 # ---------------------------------------------------------------------------
@@ -568,4 +594,14 @@ def build_pipeline(
     manifest.complete = True
     manifest.save(out_dir)
     stats.seconds = time.perf_counter() - start_time
+
+    registry = get_registry()
+    registry.inc("pipeline.samples_built", stats.built)
+    registry.inc("pipeline.cache_hits", stats.cache_hits)
+    registry.inc("pipeline.cache_misses", stats.cache_misses)
+    registry.observe("pipeline.build_s", stats.seconds)
+    registry.set_gauge("pipeline.points_per_second", stats.points_per_second)
+    ledger = active_ledger()
+    if ledger is not None:
+        ledger.record("dataset_build", stats.to_dict(), out_dir=str(out_dir))
     return ShardedDataset(out_dir), stats

@@ -24,6 +24,7 @@ from repro.dse.evaluate import GroundTruthEvaluator, PredictorEvaluator
 from repro.dse.pareto import adrs
 from repro.dse.space import DesignSpace
 from repro.dse.strategies import STRATEGIES, ExplorationResult, explore
+from repro.obs import active_ledger
 from repro.utils.tables import format_table
 
 
@@ -104,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput-oriented serving choice; see BENCH_dse.json)",
     )
     explore_p.add_argument("--json", help="write the full result as JSON here")
+    explore_p.add_argument(
+        "--obs",
+        action="store_true",
+        help="record the campaign (generations, serve latency histograms) "
+        "under REPRO_OBS_DIR",
+    )
     explore_p.add_argument(
         "--data-dir",
         default=None,
@@ -251,6 +258,11 @@ def run_explore(args: argparse.Namespace) -> int:
             predictor,
             ServiceConfig(max_batch_size=256, cache_size=8192, validate=False),
         )
+        ledger = active_ledger()
+        if ledger is not None:
+            # Serve latency percentiles + cache counters land in the
+            # campaign's metrics snapshot on close.
+            ledger.attach_registry(service.metrics)
         evaluator = PredictorEvaluator(service, program, space)
         result = explore(
             space,
@@ -341,10 +353,26 @@ def run_space(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import contextlib
+
     args = build_parser().parse_args(argv)
     if args.verb == "space":
         return run_space(args)
-    return run_explore(args)
+    scope = contextlib.nullcontext()
+    if args.obs:
+        from repro.obs import RunLedger
+
+        kernel = args.kernel or f"ldrgen-{args.ldrgen_seed}"
+        scope = RunLedger(
+            "dse",
+            meta={
+                "kernel": kernel,
+                "strategy": args.strategy,
+                "backend": args.backend,
+            },
+        )
+    with scope:
+        return run_explore(args)
 
 
 if __name__ == "__main__":

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dse.evaluate import DesignEvaluation
-from repro.dse.pareto import pareto_front
+from repro.dse.pareto import adrs, pareto_front
 from repro.dse.space import DesignPoint, DesignSpace
+from repro.obs import active_ledger, get_registry
 
 
 @dataclass
@@ -71,6 +72,9 @@ class _Explorer:
         self.seen: set[DesignPoint] = set()
         self.evaluations: list[DesignEvaluation] = []
         self.proposed = 0
+        #: Evaluated-batch sizes, one per non-empty :meth:`run_batch` —
+        #: the campaign's "generations" for convergence telemetry.
+        self.generation_sizes: list[int] = []
 
     @property
     def remaining(self) -> int:
@@ -98,6 +102,7 @@ class _Explorer:
             return []
         evaluations = self.evaluator.evaluate_many(fresh)
         self.evaluations.extend(evaluations)
+        self.generation_sizes.append(len(evaluations))
         return evaluations
 
     def random_batch(self, rng: np.random.Generator, count: int) -> list[DesignPoint]:
@@ -219,19 +224,85 @@ def explore(
     start = time.perf_counter()
     STRATEGIES[strategy](explorer, rng, **options)
     elapsed = time.perf_counter() - start
+    frontier = explorer.frontier()
     stats: dict = {}
     service = getattr(evaluator, "service", None)
     if service is not None:
         stats["service"] = service.stats.as_dict()
     if hasattr(evaluator, "flow_runs"):
         stats["flow_runs"] = evaluator.flow_runs
-    return ExplorationResult(
+    stats["generations"] = _generation_curve(explorer, frontier)
+    result = ExplorationResult(
         strategy=strategy,
         space_size=space.size,
         evaluations=explorer.evaluations,
-        frontier=explorer.frontier(),
+        frontier=frontier,
         proposed=explorer.proposed,
         elapsed_s=elapsed,
         backend=getattr(evaluator, "name", "?"),
         stats=stats,
     )
+    _record_campaign(result, service)
+    return result
+
+
+def _generation_curve(
+    explorer: _Explorer, final_frontier: list[DesignEvaluation]
+) -> list[dict]:
+    """ADRS-per-generation: convergence of the cumulative frontier.
+
+    Each entry scores the frontier after generation *g* against the
+    campaign's own final frontier (ground-truth-free, so it works for
+    the predictor backend too): ADRS→final hitting 0 marks the
+    generation where the search stopped improving.
+    """
+    if not final_frontier:
+        return []
+    reference = [evaluation.objectives() for evaluation in final_frontier]
+    curve: list[dict] = []
+    cursor = 0
+    for size in explorer.generation_sizes:
+        cursor += size
+        front = pareto_front(
+            explorer.evaluations[:cursor], key=lambda e: e.objectives()
+        )
+        curve.append(
+            {
+                "evaluated": cursor,
+                "batch": size,
+                "frontier_size": len(front),
+                "adrs_to_final": round(
+                    adrs(reference, [e.objectives() for e in front]), 6
+                ),
+            }
+        )
+    return curve
+
+
+def _record_campaign(result: ExplorationResult, service) -> None:
+    """Land campaign telemetry in the registry and any active ledger."""
+    registry = get_registry()
+    registry.inc("dse.campaigns")
+    registry.inc("dse.points_evaluated", result.evaluated)
+    registry.observe("dse.campaign_s", result.elapsed_s)
+    registry.set_gauge("dse.points_per_second", result.points_per_second)
+    ledger = active_ledger()
+    if ledger is None:
+        return
+    record = {
+        "strategy": result.strategy,
+        "backend": result.backend,
+        "space_size": result.space_size,
+        "evaluated": result.evaluated,
+        "proposed": result.proposed,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "points_per_second": round(result.points_per_second, 1),
+        "frontier_size": len(result.frontier),
+        "generations": result.stats.get("generations", []),
+    }
+    if service is not None:
+        record["cache_hits"] = service.stats.cache_hits
+        record["cache_misses"] = service.stats.cache_misses
+    if "flow_runs" in result.stats:
+        record["flow_runs"] = result.stats["flow_runs"]
+    ledger.record("dse_explore", record)

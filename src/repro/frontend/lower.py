@@ -36,6 +36,7 @@ from repro.ir.function import IRFunction, LoopDirective
 from repro.ir.opcodes import Opcode
 from repro.ir.values import Argument, Constant, Instruction, Value
 from repro.ir.verify import verify_function
+from repro.obs import trace
 
 BOOL = CInt(1, signed=False)
 
@@ -447,6 +448,7 @@ class _Lowerer:
         return self.fn
 
 
+@trace("frontend.lower")
 def lower_function(fn_ast: Function) -> IRFunction:
     """Lower one function to verified SSA IR."""
     return _Lowerer(fn_ast).run()

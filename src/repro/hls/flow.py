@@ -25,6 +25,7 @@ from repro.hls.report import synthesis_report
 from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
 from repro.hls.scheduling import Schedule, schedule_function
 from repro.ir.function import IRFunction
+from repro.obs import trace
 
 
 @dataclass
@@ -60,42 +61,51 @@ def run_hls(
     """
     from repro.hls.loops import analyze_loops, unroll_factors
 
-    schedule = schedule_function(function, device=device, dsp_limit=dsp_limit)
-    loops = analyze_loops(function)
-    unroll = unroll_factors(function, overrides=unroll_overrides, loops=loops)
-    binding = bind_function(function, schedule, unroll=unroll)
-    fsm = fsm_cost(function, schedule)
-    impl = implement(function, schedule, binding, fsm, device=device, unroll=unroll)
-    report = synthesis_report(
-        function,
-        schedule,
-        fsm,
-        device=device,
-        bound_dsp=binding.datapath_dsp,
-        unroll=unroll,
-    )
+    with trace("hls.flow"):
+        with trace("hls.schedule"):
+            schedule = schedule_function(function, device=device, dsp_limit=dsp_limit)
+        with trace("hls.loops"):
+            loops = analyze_loops(function)
+            unroll = unroll_factors(function, overrides=unroll_overrides, loops=loops)
+        with trace("hls.bind"):
+            binding = bind_function(function, schedule, unroll=unroll)
+            fsm = fsm_cost(function, schedule)
+        with trace("hls.implement"):
+            impl = implement(
+                function, schedule, binding, fsm, device=device, unroll=unroll
+            )
+        with trace("hls.report"):
+            report = synthesis_report(
+                function,
+                schedule,
+                fsm,
+                device=device,
+                bound_dsp=binding.datapath_dsp,
+                unroll=unroll,
+            )
 
-    latency = estimate_latency(
-        function,
-        schedule,
-        unroll_overrides=unroll_overrides,
-        pipeline_overrides=pipeline_overrides,
-        loops=loops,
-    )
+        with trace("hls.latency"):
+            latency = estimate_latency(
+                function,
+                schedule,
+                unroll_overrides=unroll_overrides,
+                pipeline_overrides=pipeline_overrides,
+                loops=loops,
+            )
 
-    # Final per-node attribution: FU share plus pipeline registers.
-    registers = pipeline_registers(function, schedule, unroll)
-    node_resources: dict[int, tuple[float, float, float]] = {}
-    node_types: dict[int, tuple[int, int, int]] = {}
-    for inst in function.instructions():
-        dsp, lut, ff = binding.node_resources.get(inst.id, (0.0, 0.0, 0.0))
-        ff += registers.get(inst.id, 0)
-        node_resources[inst.id] = (dsp, lut, ff)
-        node_types[inst.id] = (
-            int(dsp > 0.01),
-            int(lut > 0.5),
-            int(ff > 0.5),
-        )
+        # Final per-node attribution: FU share plus pipeline registers.
+        registers = pipeline_registers(function, schedule, unroll)
+        node_resources: dict[int, tuple[float, float, float]] = {}
+        node_types: dict[int, tuple[int, int, int]] = {}
+        for inst in function.instructions():
+            dsp, lut, ff = binding.node_resources.get(inst.id, (0.0, 0.0, 0.0))
+            ff += registers.get(inst.id, 0)
+            node_resources[inst.id] = (dsp, lut, ff)
+            node_types[inst.id] = (
+                int(dsp > 0.01),
+                int(lut > 0.5),
+                int(ff > 0.5),
+            )
     return HLSResult(
         function=function,
         schedule=schedule,

@@ -1,0 +1,85 @@
+"""Unified observability: metrics, tracing, run ledgers, reports.
+
+Dependency-free (stdlib only). Three layers:
+
+- **core** — :class:`MetricsRegistry` (counters/gauges/timers with P²
+  streaming p50/p95/p99), the span :class:`Tracer` behind
+  :func:`trace`, and the JSON-lines :class:`RunLedger` under
+  ``$REPRO_OBS_DIR``;
+- **instrumentation** — the tensor engine's ``use_profiling()``
+  (:mod:`repro.tensor.profiling`), spans around the HLS flow and
+  lowering, trainer/serve/pipeline/DSE metrics, all recording into the
+  active ledger when one is open;
+- **reporting** — ``python -m repro.obs report`` / ``diff``.
+
+Typical shape::
+
+    from repro.obs import RunLedger, trace, get_registry
+    from repro.tensor import use_profiling
+
+    with RunLedger("train", config={...}) as ledger, use_profiling() as prof:
+        result = train_graph_regressor(model, train, val, config)
+        ledger.attach_profile(prof)
+    # -> python -m repro.obs report
+"""
+
+from repro.obs.ledger import (
+    DEFAULT_OBS_DIR,
+    OBS_DIR_ENV,
+    RunLedger,
+    active_ledger,
+    config_digest,
+    latest_run,
+    list_runs,
+    load_run,
+    obs_dir,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    P2Quantile,
+    Timer,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.timing import Stopwatch, best_of, rate, throughput_summary
+from repro.obs.trace import (
+    SpanStat,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_OBS_DIR",
+    "Gauge",
+    "MetricsRegistry",
+    "OBS_DIR_ENV",
+    "P2Quantile",
+    "RunLedger",
+    "SpanStat",
+    "Stopwatch",
+    "Timer",
+    "Tracer",
+    "active_ledger",
+    "best_of",
+    "config_digest",
+    "get_registry",
+    "get_tracer",
+    "latest_run",
+    "list_runs",
+    "load_run",
+    "obs_dir",
+    "rate",
+    "set_registry",
+    "set_tracer",
+    "throughput_summary",
+    "trace",
+    "use_registry",
+    "use_tracer",
+]

@@ -1,0 +1,98 @@
+"""``python -m repro.obs`` — render and compare run ledgers.
+
+Verbs::
+
+    python -m repro.obs list                      # runs under REPRO_OBS_DIR
+    python -m repro.obs report                    # latest run -> Markdown
+    python -m repro.obs report RUN --out r.md     # specific run id/path
+    python -m repro.obs diff RUN_A RUN_B          # side-by-side with ratios
+
+``RUN`` may be a run id, a ledger filename, or a path; ``--dir``
+overrides ``REPRO_OBS_DIR`` per invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.ledger import latest_run, list_runs, load_run, obs_dir
+from repro.obs.report import render_diff, render_report
+
+
+def _resolve(ref: str | None, directory: Path | None) -> dict:
+    if ref is None or ref == "latest":
+        path = latest_run(directory)
+        if path is None:
+            raise SystemExit(
+                f"no runs under {directory or obs_dir()} — set REPRO_OBS_DIR or --dir"
+            )
+        return load_run(path)
+    return load_run(ref, directory)
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        Path(out).parent.mkdir(parents=True, exist_ok=True)
+        Path(out).write_text(text)
+    else:
+        sys.stdout.write(text)
+
+
+def run_list(args) -> int:
+    runs = list_runs(args.dir)
+    if not runs:
+        print(f"no runs under {args.dir or obs_dir()}")
+        return 0
+    for path in runs:
+        print(path.stem)
+    return 0
+
+
+def run_report(args) -> int:
+    run = _resolve(args.run, args.dir)
+    _emit(render_report(run, top=args.top), args.out)
+    return 0
+
+
+def run_diff(args) -> int:
+    run_a = _resolve(args.run_a, args.dir)
+    run_b = _resolve(args.run_b, args.dir)
+    _emit(render_diff(run_a, run_b), args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_list = sub.add_parser("list", help="list runs, oldest first")
+    p_list.add_argument("--dir", default=None, help="ledger directory")
+    p_list.set_defaults(fn=run_list)
+
+    p_report = sub.add_parser("report", help="render one run as Markdown")
+    p_report.add_argument("run", nargs="?", default=None, help="run id/path (default: latest)")
+    p_report.add_argument("--dir", default=None, help="ledger directory")
+    p_report.add_argument("--latest", action="store_true", help="force the latest run")
+    p_report.add_argument("--top", type=int, default=20, help="rows per ranked table")
+    p_report.add_argument("--out", default=None, help="write to file instead of stdout")
+    p_report.set_defaults(fn=run_report)
+
+    p_diff = sub.add_parser("diff", help="compare two runs")
+    p_diff.add_argument("run_a")
+    p_diff.add_argument("run_b")
+    p_diff.add_argument("--dir", default=None, help="ledger directory")
+    p_diff.add_argument("--out", default=None, help="write to file instead of stdout")
+    p_diff.set_defaults(fn=run_diff)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "latest", False):
+        args.run = None
+    return args.fn(args)

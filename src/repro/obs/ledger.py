@@ -1,0 +1,243 @@
+"""Run ledger: structured JSON-lines records per run under REPRO_OBS_DIR.
+
+One run = one ``<run_id>.jsonl`` file. The first line is a ``run``
+header (kind, timestamp, config digest, interpreter metadata — no git
+required); subsequent lines are typed records appended by whichever
+subsystems execute while the ledger is active:
+
+- ``epoch`` — trainer per-epoch loss/val/throughput,
+- ``dataset_build`` — pipeline ``BuildStats``,
+- ``dse_explore`` — campaign points/s, cache hits, ADRS-per-generation,
+- ``metrics`` / ``spans`` / ``ops`` — registry, tracer and tensor-op
+  snapshots (possibly several per run; the report merges them),
+- ``end`` — written on context exit, with exit status.
+
+The *active* ledger is a process-global stack: ``with RunLedger(...)``
+makes the run visible through :func:`active_ledger`, and instrumented
+code records opportunistically — no ledger, no record, no plumbing of
+ledger handles through every API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_OBS_DIR",
+    "OBS_DIR_ENV",
+    "RunLedger",
+    "active_ledger",
+    "config_digest",
+    "latest_run",
+    "list_runs",
+    "load_run",
+    "obs_dir",
+]
+
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+DEFAULT_OBS_DIR = "obs"
+SCHEMA_VERSION = 1
+
+
+def obs_dir() -> Path:
+    """Ledger directory: ``$REPRO_OBS_DIR`` or ``./obs``."""
+    return Path(os.environ.get(OBS_DIR_ENV) or DEFAULT_OBS_DIR)
+
+
+def config_digest(config) -> str:
+    """Stable sha256 over a JSON-able config mapping (order-insensitive)."""
+    payload = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _jsonify(value):
+    """Coerce numpy scalars/arrays and paths into JSON-able values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "ndim", None) == 0:
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return value
+
+
+_ACTIVE: list["RunLedger"] = []
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_ledger() -> "RunLedger | None":
+    """Innermost active ledger, or ``None`` when no run is recording."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+class RunLedger:
+    """Append-only JSON-lines record of one run.
+
+    Usable directly (``ledger.record(...)``) or as a context manager
+    that additionally (a) registers itself as the active ledger and
+    (b) snapshots the global registry/tracer plus any attached
+    instruments on exit, so a plain ``with RunLedger("train"):`` around
+    a training call captures everything without further code.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        meta: dict | None = None,
+        config: dict | None = None,
+        directory: str | Path | None = None,
+        run_id: str | None = None,
+    ):
+        self.kind = kind
+        self.directory = Path(directory) if directory is not None else obs_dir()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if run_id is None:
+            stamp = time.strftime("%Y%m%d-%H%M%S")
+            run_id = f"{stamp}-{kind}-{os.getpid()}"
+            suffix = 1
+            while (self.directory / f"{run_id}.jsonl").exists():
+                suffix += 1
+                run_id = f"{stamp}-{kind}-{os.getpid()}-{suffix}"
+        self.run_id = run_id
+        self.path = self.directory / f"{run_id}.jsonl"
+        self._lock = threading.Lock()
+        self._closed = False
+        self._registries: list = []
+        self._profiles: list = []
+        header = {
+            "schema": SCHEMA_VERSION,
+            "run_id": run_id,
+            "kind": kind,
+            "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        if meta:
+            header["meta"] = _jsonify(meta)
+        if config is not None:
+            header["config_digest"] = config_digest(_jsonify(config))
+            header["config"] = _jsonify(config)
+        self.record("run", header)
+
+    # -- writing -----------------------------------------------------------
+    def record(self, type_: str, payload: dict | None = None, **fields) -> None:
+        """Append one ``{"type": type_, ...}`` line."""
+        entry = {"type": type_}
+        if payload:
+            entry.update(_jsonify(payload))
+        if fields:
+            entry.update(_jsonify(fields))
+        line = json.dumps(entry, default=str)
+        with self._lock:
+            with self.path.open("a") as handle:
+                handle.write(line + "\n")
+
+    def record_metrics(self, registry=None) -> None:
+        """Snapshot a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        self.record("metrics", registry.snapshot())
+
+    def record_spans(self, tracer=None) -> None:
+        if tracer is None:
+            from repro.obs.trace import get_tracer
+
+            tracer = get_tracer()
+        self.record("spans", spans=tracer.snapshot())
+
+    def record_ops(self, profile) -> None:
+        """Snapshot an :class:`~repro.tensor.profiling.OpProfile`."""
+        self.record("ops", profile.snapshot())
+
+    # -- attachments: extra instruments snapshotted on context exit --------
+    def attach_registry(self, registry) -> None:
+        """Include a non-global registry (e.g. a service's) in the exit snapshot."""
+        self._registries.append(registry)
+
+    def attach_profile(self, profile) -> None:
+        self._profiles.append(profile)
+
+    # -- context management ------------------------------------------------
+    def __enter__(self) -> "RunLedger":
+        with _ACTIVE_LOCK:
+            _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        with _ACTIVE_LOCK:
+            if self in _ACTIVE:
+                _ACTIVE.remove(self)
+        if not self._closed:
+            self.close(status="error" if exc_type is not None else "ok")
+
+    def close(self, status: str = "ok") -> None:
+        """Snapshot global + attached instruments, then seal the run."""
+        if self._closed:
+            return
+        self.record_metrics()
+        for registry in self._registries:
+            self.record_metrics(registry)
+        self.record_spans()
+        for profile in self._profiles:
+            self.record_ops(profile)
+        self.record("end", status=status, ended_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+        self._closed = True
+
+
+# -- reading ---------------------------------------------------------------
+def list_runs(directory: str | Path | None = None) -> list[Path]:
+    """Ledger files, oldest first (mtime then name for stable ordering)."""
+    directory = Path(directory) if directory is not None else obs_dir()
+    if not directory.is_dir():
+        return []
+    runs = [p for p in directory.glob("*.jsonl") if p.is_file()]
+    return sorted(runs, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def latest_run(directory: str | Path | None = None) -> Path | None:
+    runs = list_runs(directory)
+    return runs[-1] if runs else None
+
+
+def load_run(ref: str | Path, directory: str | Path | None = None) -> dict:
+    """Load a ledger by path, run id, or filename.
+
+    Returns ``{"path", "header", "records"}`` where ``records`` holds
+    every non-header line in order.
+    """
+    path = Path(ref)
+    if not path.is_file():
+        directory = Path(directory) if directory is not None else obs_dir()
+        for candidate in (directory / str(ref), directory / f"{ref}.jsonl"):
+            if candidate.is_file():
+                path = candidate
+                break
+        else:
+            raise FileNotFoundError(f"no ledger for {ref!r} (looked in {directory})")
+    header: dict = {}
+    records: list[dict] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("type") == "run" and not header:
+                header = entry
+            else:
+                records.append(entry)
+    return {"path": path, "header": header, "records": records}

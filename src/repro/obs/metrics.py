@@ -1,0 +1,299 @@
+"""Counters, gauges and streaming-quantile timers.
+
+The registry is the one metrics sink every subsystem shares: the
+trainer's per-epoch throughput, :class:`repro.serve.PredictionService`
+request/latency telemetry and ``repro.dse`` campaign counters all land
+here, so :mod:`repro.obs.report` can render them from a single
+snapshot shape.
+
+Timers keep O(1) state per tracked quantile using the P² algorithm
+(Jain & Chlamtac, 1985): five markers per quantile are nudged toward
+the 0 / q/2 / q / (1+q)/2 / 1 positions as observations stream in, so
+p50/p95/p99 estimates never require storing the sample set. Exact
+values are returned while fewer than five observations have arrived.
+
+Everything is thread-safe; none of it imports outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import math
+import threading
+import time
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "P2Quantile",
+    "Timer",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class P2Quantile:
+    """Streaming estimate of a single quantile via the P² algorithm."""
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._positions = [0.0, 1.0, 2.0, 3.0, 4.0]
+        self._desired = [0.0, 0.0, 0.0, 0.0, 4.0]
+        self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, value: float) -> None:
+        heights = self._heights
+        if len(heights) < 5:
+            bisect.insort(heights, float(value))
+            if len(heights) == 5:
+                q = self.q
+                self._desired = [0.0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0]
+            return
+
+        positions, desired = self._positions, self._desired
+        if value < heights[0]:
+            heights[0] = float(value)
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = float(value)
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i, rate in enumerate(self._rates):
+            desired[i] += rate
+
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # fall back to linear interpolation toward the neighbour
+                    j = i + int(step)
+                    heights[i] += step * (heights[j] - heights[i]) / (
+                        positions[j] - positions[i]
+                    )
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    @property
+    def value(self) -> float:
+        heights = self._heights
+        if not heights:
+            return math.nan
+        if len(heights) < 5:  # exact while the sample set is tiny
+            rank = self.q * (len(heights) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(heights) - 1)
+            return heights[lo] + (rank - lo) * (heights[hi] - heights[lo])
+        return heights[2]
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (loss, ADRS, points/s, ...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self):
+        self._value = math.nan
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Timer:
+    """Duration histogram: count/sum/min/max plus streaming quantiles."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max", "_quantiles")
+
+    def __init__(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._quantiles = {q: P2Quantile(q) for q in quantiles}
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+            for estimator in self._quantiles.values():
+                estimator.observe(seconds)
+
+    @contextlib.contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    def quantile(self, q: float) -> float:
+        estimator = self._quantiles.get(q)
+        return estimator.value if estimator is not None else math.nan
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = {
+                "count": self.count,
+                "total_s": self.total,
+                "mean_s": self.total / self.count if self.count else math.nan,
+                "min_s": self.min if self.count else math.nan,
+                "max_s": self.max if self.count else math.nan,
+            }
+            for q, estimator in self._quantiles.items():
+                out[f"p{round(q * 100) if q != 0.5 else 50}"] = estimator.value
+        return out
+
+
+class MetricsRegistry:
+    """Named counters/gauges/timers behind one lock-protected namespace.
+
+    Instruments are created on first touch, so call sites never need a
+    registration step::
+
+        registry.inc("serve.requests")
+        registry.observe("serve.request_latency_s", elapsed)
+        registry.set_gauge("train.loss", epoch_loss)
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            instrument = self._timers.get(name)
+            if instrument is None:
+                instrument = self._timers[name] = Timer()
+        return instrument
+
+    # -- convenience verbs -------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.timer(name).observe(seconds)
+
+    def time(self, name: str):
+        """``with registry.time("train.epoch_s"): ...``"""
+        return self.timer(name).time()
+
+    def snapshot(self) -> dict:
+        """A JSON-able view: {"counters": .., "gauges": .., "timers": ..}."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timers = dict(self._timers)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "timers": {name: t.snapshot() for name, t in sorted(timers.items())},
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (trainer, pipeline and DSE default)."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry | None = None):
+    """Scope the global registry to a fresh (or given) instance.
+
+    Tests use this to observe one run's metrics without cross-test
+    pollution of the process-global registry.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

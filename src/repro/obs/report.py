@@ -1,0 +1,354 @@
+"""Render run ledgers into Markdown summaries and run-vs-run diffs.
+
+``render_report`` answers "where did this run spend its time": hottest
+spans ranked by self time, counter/gauge tables, timer percentiles
+(serve p50/p99 latency lives here), tensor op counts and the trainer's
+epoch trajectory. ``render_diff`` lines two runs up side by side with
+ratios — the comparison shape ``benchmarks/check_regression.py`` can
+reuse for ledger-backed gates.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["merge_metrics", "merge_ops", "merge_spans", "render_diff", "render_report"]
+
+_NA = "—"
+
+
+def _fmt(value, digits: int = 3) -> str:
+    if value is None:
+        return _NA
+    if isinstance(value, float):
+        if math.isnan(value):
+            return _NA
+        if math.isinf(value):
+            return "inf"
+        if value and abs(value) < 10 ** -digits:
+            return f"{value:.2e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _ms(seconds) -> str:
+    if seconds is None or (isinstance(seconds, float) and math.isnan(seconds)):
+        return _NA
+    return _fmt(float(seconds) * 1000.0)
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines += ["| " + " | ".join(str(cell) for cell in row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+# -- record merging --------------------------------------------------------
+def merge_spans(records: list[dict]) -> dict:
+    """Fold every ``spans`` record into one {path: stat} table."""
+    merged: dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "spans":
+            continue
+        for path, entry in record.get("spans", {}).items():
+            stat = merged.setdefault(path, {"count": 0, "total_s": 0.0, "self_s": 0.0})
+            stat["count"] += int(entry["count"])
+            stat["total_s"] += float(entry["total_s"])
+            stat["self_s"] += float(entry["self_s"])
+    return merged
+
+
+def merge_metrics(records: list[dict]) -> dict:
+    """Fold every ``metrics`` record into one counters/gauges/timers view.
+
+    Counters sum; gauges keep the last written value; timers merge
+    count/total/min/max exactly and quantiles as count-weighted averages
+    (an approximation that only matters when the same timer name appears
+    in several records of one run).
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    timers: dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "metrics":
+            continue
+        for name, value in record.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in record.get("gauges", {}).items():
+            gauges[name] = value
+        for name, snap in record.get("timers", {}).items():
+            if snap.get("count", 0) == 0:
+                continue
+            merged = timers.get(name)
+            if merged is None:
+                timers[name] = dict(snap)
+                continue
+            a_count, b_count = merged["count"], snap["count"]
+            total = a_count + b_count
+            for key in snap:
+                if key in ("count", "total_s"):
+                    continue
+                if key == "min_s":
+                    merged[key] = min(merged.get(key, math.inf), snap[key])
+                elif key == "max_s":
+                    merged[key] = max(merged.get(key, -math.inf), snap[key])
+                elif key == "mean_s":
+                    continue
+                else:  # quantile estimates
+                    merged[key] = (
+                        merged.get(key, snap[key]) * a_count + snap[key] * b_count
+                    ) / total
+            merged["count"] = total
+            merged["total_s"] = merged["total_s"] + snap["total_s"]
+            merged["mean_s"] = merged["total_s"] / total
+    return {"counters": counters, "gauges": gauges, "timers": timers}
+
+
+def merge_ops(records: list[dict]) -> dict:
+    """Fold ``ops`` records: {"ops": {name: count}, "kernels": {...}}."""
+    ops: dict[str, int] = {}
+    kernels: dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "ops":
+            continue
+        for name, count in record.get("ops", {}).items():
+            ops[name] = ops.get(name, 0) + int(count)
+        for name, entry in record.get("kernels", {}).items():
+            merged = kernels.setdefault(name, {"count": 0, "total_s": 0.0})
+            merged["count"] += int(entry["count"])
+            merged["total_s"] += float(entry["total_s"])
+    return {"ops": ops, "kernels": kernels}
+
+
+# -- rendering -------------------------------------------------------------
+def _span_section(spans: dict, top: int) -> list[str]:
+    if not spans:
+        return []
+    ranked = sorted(spans.items(), key=lambda kv: kv[1]["self_s"], reverse=True)
+    grand_self = sum(stat["self_s"] for stat in spans.values()) or 1.0
+    rows = [
+        [
+            f"`{path}`",
+            str(stat["count"]),
+            _ms(stat["total_s"]),
+            _ms(stat["self_s"]),
+            f"{100.0 * stat['self_s'] / grand_self:.1f}%",
+        ]
+        for path, stat in ranked[:top]
+    ]
+    table = _md_table(["span", "calls", "total ms", "self ms", "% self"], rows)
+    note = (
+        f"\n_{len(ranked) - top} more span paths omitted._" if len(ranked) > top else ""
+    )
+    return [f"## Hottest spans\n\n{table}{note}"]
+
+
+def _metrics_sections(metrics: dict, top: int) -> list[str]:
+    sections = []
+    if metrics["counters"]:
+        rows = [[f"`{k}`", str(v)] for k, v in sorted(metrics["counters"].items())]
+        sections.append("## Counters\n\n" + _md_table(["counter", "value"], rows))
+    if metrics["gauges"]:
+        rows = [[f"`{k}`", _fmt(v, 4)] for k, v in sorted(metrics["gauges"].items())]
+        sections.append("## Gauges\n\n" + _md_table(["gauge", "value"], rows))
+    if metrics["timers"]:
+        rows = [
+            [
+                f"`{name}`",
+                str(snap["count"]),
+                _ms(snap.get("mean_s")),
+                _ms(snap.get("p50")),
+                _ms(snap.get("p95")),
+                _ms(snap.get("p99")),
+                _ms(snap.get("max_s")),
+            ]
+            for name, snap in sorted(metrics["timers"].items())
+        ]
+        sections.append(
+            "## Timers\n\n"
+            + _md_table(
+                ["timer", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+                rows,
+            )
+        )
+    return sections
+
+
+def _ops_sections(ops: dict, top: int) -> list[str]:
+    sections = []
+    if ops["ops"]:
+        ranked = sorted(ops["ops"].items(), key=lambda kv: kv[1], reverse=True)
+        rows = [[f"`{name}`", str(count)] for name, count in ranked[:top]]
+        sections.append("## Tensor ops\n\n" + _md_table(["op", "tape nodes"], rows))
+    if ops["kernels"]:
+        ranked = sorted(
+            ops["kernels"].items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        )
+        rows = [
+            [f"`{name}`", str(entry["count"]), _ms(entry["total_s"])]
+            for name, entry in ranked[:top]
+        ]
+        sections.append(
+            "## Kernel time\n\n" + _md_table(["kernel", "calls", "total ms"], rows)
+        )
+    return sections
+
+
+def _epoch_section(records: list[dict]) -> list[str]:
+    epochs = [r for r in records if r.get("type") == "epoch"]
+    if not epochs:
+        return []
+    metric_key = "val_mape" if "val_mape" in epochs[0] else "val_acc"
+    rows = [
+        [
+            str(r.get("epoch", _NA)),
+            _fmt(r.get("loss"), 4),
+            _fmt(r.get(metric_key), 4),
+            _fmt(r.get("samples_per_s"), 1),
+            _ms(r.get("batch_build_s")),
+            _ms(r.get("forward_s")),
+            _ms(r.get("backward_s")),
+        ]
+        for r in epochs
+    ]
+    return [
+        "## Epochs\n\n"
+        + _md_table(
+            [
+                "epoch",
+                "loss",
+                metric_key,
+                "samples/s",
+                "build ms",
+                "forward ms",
+                "backward ms",
+            ],
+            rows,
+        )
+    ]
+
+
+def _record_sections(records: list[dict]) -> list[str]:
+    """One compact table per structured non-snapshot record type."""
+    sections = []
+    for type_, title in (
+        ("dataset_build", "Dataset build"),
+        ("dse_explore", "DSE campaign"),
+        ("serve_bench", "Serve bench"),
+    ):
+        for record in records:
+            if record.get("type") != type_:
+                continue
+            rows = [
+                [f"`{key}`", _fmt(value) if isinstance(value, (int, float)) else str(value)]
+                for key, value in record.items()
+                if key != "type" and not isinstance(value, (dict, list))
+            ]
+            if rows:
+                sections.append(f"## {title}\n\n" + _md_table(["field", "value"], rows))
+            generations = record.get("generations")
+            if generations:
+                gen_rows = [
+                    [
+                        str(i + 1),
+                        str(g.get("evaluated", _NA)),
+                        str(g.get("frontier_size", _NA)),
+                        _fmt(g.get("adrs_to_final"), 4),
+                    ]
+                    for i, g in enumerate(generations)
+                ]
+                sections.append(
+                    "### ADRS per generation\n\n"
+                    + _md_table(
+                        ["generation", "evaluated", "frontier", "ADRS→final"], gen_rows
+                    )
+                )
+    return sections
+
+
+def render_report(run: dict, top: int = 20) -> str:
+    """Markdown summary of one loaded run (see :func:`ledger.load_run`)."""
+    header = run.get("header", {})
+    records = run.get("records", [])
+    title = header.get("run_id", str(run.get("path", "run")))
+    lines = [f"# Run report — `{title}`", ""]
+    facts = [
+        ("kind", header.get("kind")),
+        ("started", header.get("started_at")),
+        ("config digest", header.get("config_digest")),
+        ("python", header.get("python")),
+        ("records", len(records)),
+    ]
+    lines.append(
+        _md_table(
+            ["field", "value"], [[k, str(v)] for k, v in facts if v is not None]
+        )
+    )
+    sections = (
+        _span_section(merge_spans(records), top)
+        + _metrics_sections(merge_metrics(records), top)
+        + _ops_sections(merge_ops(records), top)
+        + _epoch_section(records)
+        + _record_sections(records)
+    )
+    if not sections:
+        sections = ["_No spans, metrics or records in this ledger._"]
+    return "\n\n".join(lines + sections) + "\n"
+
+
+def _diff_rows(table_a: dict, table_b: dict, extract) -> list[list[str]]:
+    rows = []
+    for name in sorted(set(table_a) | set(table_b)):
+        a = extract(table_a.get(name))
+        b = extract(table_b.get(name))
+        if a is None and b is None:
+            continue
+        ratio = (
+            f"{b / a:.2f}x" if a not in (None, 0) and b is not None else _NA
+        )
+        rows.append([f"`{name}`", _fmt(a), _fmt(b), ratio])
+    return rows
+
+
+def render_diff(run_a: dict, run_b: dict) -> str:
+    """Side-by-side A/B comparison with B/A ratios."""
+    id_a = run_a.get("header", {}).get("run_id", "A")
+    id_b = run_b.get("header", {}).get("run_id", "B")
+    lines = [f"# Run diff — `{id_a}` vs `{id_b}`", ""]
+
+    spans_a, spans_b = merge_spans(run_a["records"]), merge_spans(run_b["records"])
+    rows = _diff_rows(spans_a, spans_b, lambda s: s and s["self_s"])
+    if rows:
+        lines.append(
+            "## Span self time (s)\n\n"
+            + _md_table(["span", id_a, id_b, "ratio"], rows)
+        )
+
+    m_a, m_b = merge_metrics(run_a["records"]), merge_metrics(run_b["records"])
+    rows = _diff_rows(m_a["counters"], m_b["counters"], lambda v: v)
+    if rows:
+        lines.append("## Counters\n\n" + _md_table(["counter", id_a, id_b, "ratio"], rows))
+    rows = _diff_rows(m_a["gauges"], m_b["gauges"], lambda v: v)
+    if rows:
+        lines.append("## Gauges\n\n" + _md_table(["gauge", id_a, id_b, "ratio"], rows))
+    rows = _diff_rows(
+        m_a["timers"], m_b["timers"], lambda t: t and t.get("p50")
+    )
+    if rows:
+        lines.append(
+            "## Timer p50 (s)\n\n" + _md_table(["timer", id_a, id_b, "ratio"], rows)
+        )
+
+    o_a, o_b = merge_ops(run_a["records"]), merge_ops(run_b["records"])
+    rows = _diff_rows(o_a["ops"], o_b["ops"], lambda v: v)
+    if rows:
+        lines.append(
+            "## Tensor op counts\n\n" + _md_table(["op", id_a, id_b, "ratio"], rows)
+        )
+
+    if len(lines) == 2:
+        lines.append("_Nothing comparable between these runs._")
+    return "\n\n".join(lines) + "\n"

@@ -1,0 +1,177 @@
+"""Span-based tracing with nesting, aggregation and cross-process merge.
+
+``trace("hls.schedule")`` opens a span; spans nest, and each one is
+aggregated under its "/"-joined path ("pipeline.build_graph/hls.flow/
+hls.schedule"), accumulating call count, total wall time and the time
+spent inside child spans — so the report can show *self* time, the
+number that actually ranks hot spots.
+
+Span stacks are thread-local (concurrent threads each see their own
+nesting) while the aggregate table is lock-protected, so one tracer
+serves the serve tier's threads. The dataset pipeline's worker
+processes each aggregate into their own process-global tracer and
+:meth:`Tracer.drain` their table back with each result; the driver
+merges it via :meth:`Tracer.merge` — see
+``repro.dataset.pipeline._result_stream``.
+
+``trace`` doubles as a decorator::
+
+    @trace("dse.predict")
+    def evaluate_many(...): ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import threading
+import time
+
+__all__ = ["SpanStat", "Tracer", "get_tracer", "set_tracer", "trace", "use_tracer"]
+
+
+class SpanStat:
+    """Aggregate for one span path."""
+
+    __slots__ = ("count", "total_s", "child_s")
+
+    def __init__(self, count: int = 0, total_s: float = 0.0, child_s: float = 0.0):
+        self.count = count
+        self.total_s = total_s
+        self.child_s = child_s
+
+    @property
+    def self_s(self) -> float:
+        return self.total_s - self.child_s
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+        }
+
+
+class Tracer:
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._stats: dict[str, SpanStat] = {}
+
+    # -- recording ---------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextlib.contextmanager
+    def span(self, name: str):
+        stack = self._stack()
+        path = f"{stack[-1][0]}/{name}" if stack else name
+        frame = [path, 0.0]  # child-time accumulator filled by sub-spans
+        stack.append(frame)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stack.pop()
+            if stack:
+                stack[-1][1] += elapsed
+            with self._lock:
+                stat = self._stats.get(path)
+                if stat is None:
+                    stat = self._stats[path] = SpanStat()
+                stat.count += 1
+                stat.total_s += elapsed
+                stat.child_s += frame[1]
+
+    # -- aggregate access --------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able {path: {count, total_s, self_s}} view."""
+        with self._lock:
+            return {
+                path: stat.as_dict() for path, stat in sorted(self._stats.items())
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another tracer's :meth:`snapshot` into this one."""
+        with self._lock:
+            for path, entry in snapshot.items():
+                stat = self._stats.get(path)
+                if stat is None:
+                    stat = self._stats[path] = SpanStat()
+                stat.count += int(entry["count"])
+                stat.total_s += float(entry["total_s"])
+                stat.child_s += float(entry["total_s"]) - float(entry["self_s"])
+
+    def drain(self) -> dict:
+        """Snapshot then clear — what pipeline workers ship to the driver."""
+        with self._lock:
+            stats, self._stats = self._stats, {}
+        return {path: stat.as_dict() for path, stat in sorted(stats.items())}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+class trace:
+    """Span context manager *and* decorator against the active tracer.
+
+    The tracer is resolved at ``__enter__``/call time, not construction
+    time, so decorated functions honour :func:`use_tracer` scoping.
+    """
+
+    __slots__ = ("name", "_tracer", "_spans")
+
+    def __init__(self, name: str, tracer: Tracer | None = None):
+        self.name = name
+        self._tracer = tracer
+        self._spans: list = []
+
+    def __enter__(self):
+        span = (self._tracer or get_tracer()).span(self.name)
+        span.__enter__()
+        self._spans.append(span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return self._spans.pop().__exit__(exc_type, exc, tb)
+
+    def __call__(self, fn):
+        name, tracer = self.name, self._tracer
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with (tracer or get_tracer()).span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every ``trace(...)`` records into."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer | None = None):
+    """Scope the global tracer to a fresh (or given) instance."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

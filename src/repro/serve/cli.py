@@ -159,6 +159,7 @@ def _jsonl_loop(service: PredictionService, args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.ldrgen.config import GeneratorConfig
     from repro.ldrgen.generator import ProgramGenerator
+    from repro.obs import RunLedger, throughput_summary
     from repro.serve.encoding import encode_program
 
     service = _service(args)
@@ -187,20 +188,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
     cached_s = time.perf_counter() - start
 
     n = len(graphs)
-    print(
-        json.dumps(
-            {
-                "requests": n,
-                "batch_size": args.batch_size,
-                "naive_latency_ms": round(1000 * naive_s / n, 3),
-                "naive_rps": round(n / naive_s, 1),
-                "batched_rps": round(n / batched_s, 1),
-                "cached_rps": round(n / cached_s, 1),
-                "batched_speedup": round(naive_s / batched_s, 2),
-                "stats": service.stats.as_dict(),
-            }
-        )
+    # Same flattening as BENCH_serve.json (see repro.obs.timing), same
+    # stats serialization as the ledger (ServiceStats.to_dict).
+    summary = throughput_summary(
+        {"naive": naive_s, "batched": batched_s, "cached": cached_s}, n
     )
+    summary.update(
+        {
+            "batch_size": args.batch_size,
+            "batched_speedup": round(naive_s / batched_s, 2),
+            "stats": service.stats.to_dict(),
+        }
+    )
+    if args.obs:
+        with RunLedger(
+            "serve-bench",
+            meta={"model": f"{args.name}@{args.version}", "mode": mode},
+        ) as ledger:
+            ledger.record("serve_bench", summary)
+            ledger.attach_registry(service.metrics)
+    print(json.dumps(summary))
     return 0
 
 
@@ -266,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--requests", type=int, default=64)
     bench.add_argument("--mode", default="dfg", choices=["dfg", "cdfg"])
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--obs",
+        action="store_true",
+        help="record the run (summary + latency histograms) under REPRO_OBS_DIR",
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -17,14 +17,16 @@ concurrency device.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.graph.data import GraphData
 from repro.graph.validation import validate_inference_graph
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.artifacts import Predictor, load_predictor
 from repro.serve.encoding import encode_program, encode_source
 from repro.serve.registry import LATEST, ModelRegistry
@@ -49,9 +51,28 @@ class ServiceConfig:
             raise ValueError("cache_size must be >= 0")
 
 
-@dataclass
+#: Counter names under the ``serve.`` metrics namespace, in report order.
+_STAT_FIELDS = (
+    "requests",
+    "cache_hits",
+    "cache_misses",
+    "coalesced",
+    "rejected",
+    "evictions",
+    "batches",
+    "flushes",
+    "model_graphs",
+    "bulk_calls",
+)
+
+
 class ServiceStats:
-    """Counters for observability and the ``bench`` verb.
+    """Thin integer view over the service's ``serve.*`` metrics counters.
+
+    The counters themselves live in the service's
+    :class:`~repro.obs.MetricsRegistry` (alongside the request/batch
+    latency histograms); this view keeps the historical attribute API —
+    ``service.stats.cache_hits`` etc. — working unchanged.
 
     Invariant: every accepted request is counted exactly once in
     ``cache_hits + cache_misses + coalesced``; requests rejected at the
@@ -60,19 +81,27 @@ class ServiceStats:
     bulk dedupe it never exceeds ``cache_misses``.
     """
 
-    requests: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    coalesced: int = 0
-    rejected: int = 0
-    evictions: int = 0
-    batches: int = 0
-    flushes: int = 0
-    model_graphs: int = 0
-    bulk_calls: int = 0
+    __slots__ = ("_metrics",)
 
-    def as_dict(self) -> dict[str, int]:
-        return dict(self.__dict__)
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def __getattr__(self, name: str) -> int:
+        if name in _STAT_FIELDS:
+            return self._metrics.counter(f"serve.{name}").value
+        raise AttributeError(name)
+
+    def to_dict(self) -> dict[str, int]:
+        """The counters as a plain dict — the one serialization path
+        shared by ``BENCH_serve.json``, the serve CLI and the ledger."""
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
+
+    # Historical name, kept for callers predating the obs layer.
+    as_dict = to_dict
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.to_dict().items())
+        return f"ServiceStats({fields})"
 
 
 class _Inflight:
@@ -110,10 +139,24 @@ class PendingPrediction:
 class PredictionService:
     """Serve a fitted predictor with batching, caching and validation."""
 
-    def __init__(self, predictor: Predictor, config: ServiceConfig | None = None):
+    def __init__(
+        self,
+        predictor: Predictor,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.predictor = predictor
         self.config = config or ServiceConfig()
-        self.stats = ServiceStats()
+        #: Per-service registry by default, so each service's counters
+        #: start at zero; pass a shared registry to aggregate services.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServiceStats(self.metrics)
+        # Pre-resolved instruments keep the hot path to one Counter.inc.
+        self._count = {
+            name: self.metrics.counter(f"serve.{name}") for name in _STAT_FIELDS
+        }
+        self._request_latency = self.metrics.timer("serve.request_latency_s")
+        self._batch_latency = self.metrics.timer("serve.batch_latency_s")
         self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
         self._pending: list[_Inflight] = []
         self._inflight: dict[str, _Inflight] = {}
@@ -174,26 +217,26 @@ class PredictionService:
         ``fingerprint`` may be supplied when the caller already computed
         it (the bulk path hashes every graph up front for dedupe).
         """
-        self.stats.requests += 1
+        self._count["requests"].inc()
         if self.config.validate:
             try:
                 self._validate(graph)
             except ValueError:
-                self.stats.rejected += 1
+                self._count["rejected"].inc()
                 raise
         if fingerprint is None:
             fingerprint = graph.fingerprint()
         cached = self._cache_get(fingerprint)
         if cached is not None:
-            self.stats.cache_hits += 1
+            self._count["cache_hits"].inc()
             entry = _Inflight(fingerprint, graph)
             entry.value = cached
             return PendingPrediction(self, entry)
         inflight = self._inflight.get(fingerprint)
         if inflight is not None:
-            self.stats.coalesced += 1
+            self._count["coalesced"].inc()
             return PendingPrediction(self, inflight)
-        self.stats.cache_misses += 1
+        self._count["cache_misses"].inc()
         entry = _Inflight(fingerprint, graph)
         self._pending.append(entry)
         self._inflight[fingerprint] = entry
@@ -213,18 +256,26 @@ class PredictionService:
         pending, self._pending = self._pending, []
         if not pending:
             return 0
-        self.stats.flushes += 1
+        self._count["flushes"].inc()
         size = self.config.max_batch_size
         try:
             for start in range(0, len(pending), size):
                 chunk = pending[start : start + size]
                 # max_batch_size governs the fused model batch end to end
                 # — without it the predictor would silently re-chunk.
+                chunk_start = time.perf_counter()
                 predictions = self.predictor.predict(
                     [e.graph for e in chunk], batch_size=size
                 )
-                self.stats.batches += 1
-                self.stats.model_graphs += len(chunk)
+                chunk_s = time.perf_counter() - chunk_start
+                self._batch_latency.observe(chunk_s)
+                # Per-graph share of the fused batch — what p50/p99 serve
+                # latency means under a micro-batching service.
+                per_graph = chunk_s / len(chunk)
+                for _ in chunk:
+                    self._request_latency.observe(per_graph)
+                self._count["batches"].inc()
+                self._count["model_graphs"].inc(len(chunk))
                 for entry, row in zip(chunk, predictions):
                     entry.value = np.asarray(row, dtype=np.float64)
                     self._cache_put(entry.fingerprint, entry.value)
@@ -260,7 +311,7 @@ class PredictionService:
             raise ValueError(
                 f"{len(fingerprints)} fingerprints for {len(graphs)} graphs"
             )
-        self.stats.bulk_calls += 1
+        self._count["bulk_calls"].inc()
         tickets: dict[str, PendingPrediction] = {}
         out: list[PendingPrediction] = []
         for index, graph in enumerate(graphs):
@@ -269,8 +320,8 @@ class PredictionService:
             )
             ticket = tickets.get(fingerprint)
             if ticket is not None:
-                self.stats.requests += 1
-                self.stats.coalesced += 1
+                self._count["requests"].inc()
+                self._count["coalesced"].inc()
             else:
                 ticket = self.submit(graph, fingerprint=fingerprint)
                 tickets[fingerprint] = ticket
@@ -323,7 +374,7 @@ class PredictionService:
         self._cache.move_to_end(fingerprint)
         while len(self._cache) > self.config.cache_size:
             self._cache.popitem(last=False)
-            self.stats.evictions += 1
+            self._count["evictions"].inc()
 
     def clear_cache(self) -> None:
         self._cache.clear()

@@ -76,6 +76,11 @@ from repro.tensor.fused import (
     relation_matmul,
     use_fused_relations,
 )
+from repro.tensor.profiling import (
+    OpProfile,
+    profiling_enabled,
+    use_profiling,
+)
 from repro.tensor.gradcheck import gradcheck
 
 __all__ = [
@@ -120,5 +125,8 @@ __all__ = [
     "scatter_std",
     "scatter_sum",
     "segment_counts",
+    "OpProfile",
+    "profiling_enabled",
+    "use_profiling",
     "gradcheck",
 ]

@@ -29,6 +29,7 @@ import contextlib
 
 import numpy as np
 
+from repro.tensor.profiling import profiled
 from repro.tensor.scatter import SegmentPlan, plans_enabled
 from repro.tensor.tensor import Tensor, stable_sigmoid
 
@@ -61,6 +62,7 @@ def use_fused_relations(enabled: bool = True):
         _FUSED_RELATIONS_ENABLED = previous
 
 
+@profiled("addmm")
 def addmm(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """``x @ weight (+ bias)`` as a single autograd node.
 
@@ -87,6 +89,7 @@ def addmm(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     return Tensor._make(data, parents, backward)
 
 
+@profiled("linear_act")
 def linear_act(
     x: Tensor,
     weight: Tensor,
@@ -133,6 +136,7 @@ def linear_act(
     return Tensor._make(out, parents, backward)
 
 
+@profiled("relation_matmul")
 def relation_matmul(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """All-relations transform ``[N, D] x [R, D, O] -> [R, N, O]``.
 
@@ -161,6 +165,7 @@ def relation_matmul(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Te
     return Tensor._make(data, parents, backward)
 
 
+@profiled("relation_gather_matmul")
 def relation_gather_matmul(
     x: Tensor,
     weight: Tensor,

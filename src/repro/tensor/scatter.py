@@ -40,6 +40,7 @@ try:  # pragma: no cover - exercised implicitly by every planned kernel
 except ImportError:  # pragma: no cover - container always ships scipy
     _sparse = None
 
+from repro.tensor.profiling import profiled
 from repro.tensor.tensor import Tensor
 
 _PLAN_KERNELS_ENABLED = True
@@ -211,6 +212,7 @@ def segment_counts(index: np.ndarray, dim_size: int) -> np.ndarray:
     return np.bincount(index, minlength=dim_size).astype(np.float64)
 
 
+@profiled("gather_rows")
 def gather_rows(
     x: Tensor, index: np.ndarray, plan: SegmentPlan | None = None
 ) -> Tensor:
@@ -245,6 +247,7 @@ def gather_rows(
     return Tensor._make(data, (x,), backward)
 
 
+@profiled("scatter_sum")
 def scatter_sum(
     src: Tensor,
     index: np.ndarray | None,
@@ -282,6 +285,7 @@ def scatter_mean(
     return total / Tensor(counts.astype(src.data.dtype, copy=False))
 
 
+@profiled("scatter_extremum")
 def _scatter_extremum(
     src: Tensor,
     index: np.ndarray | None,

@@ -35,6 +35,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.tensor import profiling as _profiling
+
 _GRAD_ENABLED = True
 
 _DEFAULT_DTYPE = np.dtype(np.float32)
@@ -216,6 +218,9 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Build an op output, recording the tape only when needed."""
+        profile = _profiling._ACTIVE
+        if profile is not None:
+            profile.count(backward.__qualname__)
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
