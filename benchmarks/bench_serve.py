@@ -80,6 +80,53 @@ def test_serve_throughput(benchmark, served):
 
 
 @pytest.mark.benchmark(group="serve", min_rounds=1, max_time=1)
+def test_serve_stress_chaos(benchmark, served):
+    """Chaos stress: SLO metrics under the stock fault plan.
+
+    Runs the serving tier (workers, bounded queue, breaker, analytical
+    degradation) through :func:`repro.serve.stress.run_stress` with
+    ``DEFAULT_CHAOS_PLAN`` injected, and merges the summary into
+    ``BENCH_serve.json`` under ``stress`` — the section
+    ``check_regression.py`` gates (rps floor, p99 ceiling, hung == 0).
+    """
+    from repro.faults import use_faults
+    from repro.serve.server import PredictionServer, ServerConfig
+    from repro.serve.stress import DEFAULT_CHAOS_PLAN, run_stress
+
+    predictor, _ = served
+
+    def measure():
+        config = ServerConfig(
+            workers=2,
+            queue_depth=16,
+            max_batch_size=16,
+            max_wait_ms=2.0,
+            default_deadline_ms=500.0,
+            retry_seed=0,
+        )
+        with use_faults(DEFAULT_CHAOS_PLAN):
+            with PredictionServer.from_predictor(
+                predictor, config=config
+            ) as server:
+                return run_stress(server, requests=96, seed=0)
+
+    summary = benchmark.pedantic(measure, rounds=1, iterations=1)
+    path = write_bench_json("serve", {"stress": summary}, merge=True)
+    print()
+    print(json.dumps(summary, indent=2))
+    if path:
+        print(f"wrote {path}")
+    benchmark.extra_info.update(summary)
+
+    # Acceptance: the server never hangs, and the chaos plan genuinely
+    # exercised backpressure and degradation (otherwise the gated
+    # baseline would assert nothing).
+    assert summary["hung"] == 0, summary
+    assert summary["shed"] > 0, summary
+    assert summary["degraded"] > 0, summary
+
+
+@pytest.mark.benchmark(group="serve", min_rounds=1, max_time=1)
 def test_serve_cli_predict_smoke(benchmark, served, tmp_path, capsys):
     """Smoke: the CLI ``predict`` verb answers a C-source request in-process."""
     predictor, _ = served

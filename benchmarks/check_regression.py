@@ -52,6 +52,15 @@ GATES: dict[str, list[tuple[str, str, float]]] = {
         # naive path, caching must beat batching.
         ("batched_rps/naive_rps", "higher", 0.0),
         ("cached_rps/batched_rps", "higher", 0.0),
+        # Chaos stress (injected faults + latency spikes): sustained rps
+        # must not collapse and tail latency must not blow up. Both are
+        # wall-clock-flavoured, so the p99 ceiling carries generous
+        # absolute slack on top of the ratio tolerance.
+        ("stress.rps", "higher", 0.0),
+        ("stress.p99_ms", "lower", 100.0),
+        # Hard invariant, not a ratio: no admitted request may ever hang
+        # (baseline 0 makes the bound exactly 0).
+        ("stress.hung", "lower", 0.0),
     ],
     "BENCH_dataset.json": [
         # Parallel-vs-serial scales with runner cores (the committed

@@ -69,13 +69,16 @@ def scale():
     return get_scale()
 
 
-def write_bench_json(name: str, payload: dict) -> Path | None:
+def write_bench_json(name: str, payload: dict, merge: bool = False) -> Path | None:
     """Persist a benchmark artifact as ``BENCH_<name>.json``, giving
     future PRs a perf trajectory to compare against.
 
     Lands at the repo root unless ``--bench-json`` (or
     ``REPRO_BENCH_DIR``) redirects it; returns ``None`` when artifact
-    writing is disabled (``skip``).
+    writing is disabled (``skip``). ``merge=True`` folds ``payload``'s
+    top-level keys into an existing artifact instead of replacing it —
+    used when several benches contribute sections to one file (e.g. the
+    serve throughput and chaos-stress benches).
     """
     target = os.environ.get(_BENCH_DIR_ENV)
     if target == "skip":
@@ -83,6 +86,10 @@ def write_bench_json(name: str, payload: dict) -> Path | None:
     directory = Path(target) if target else _REPO_ROOT
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
+    if merge and path.exists():
+        merged = json.loads(path.read_text())
+        merged.update(payload)
+        payload = merged
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 

@@ -24,7 +24,12 @@ import numpy as np
 
 from repro.dataset.builder import build_realcase_dataset, build_synthetic_dataset
 from repro.dataset.io import save_dataset
-from repro.dataset.pipeline import DEFAULT_SHARD_SIZE, build_pipeline
+from repro.dataset.pipeline import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_SHARD_SIZE,
+    DEFAULT_WORKER_TIMEOUT_S,
+    build_pipeline,
+)
 from repro.dataset.shards import migrate_dataset
 
 VERBS = ("build", "migrate")
@@ -82,6 +87,11 @@ def _run_build(args: argparse.Namespace) -> int:
             meta={"mode": args.mode, "workers": args.workers},
             config={"mode": args.mode, "count": args.count, "seed": args.seed},
         )
+    faults = None
+    if args.inject:
+        from repro.faults import load_fault_plan
+
+        faults = load_fault_plan(args.inject)
     with scope:
         dataset, stats = build_pipeline(
             args.out,
@@ -92,13 +102,17 @@ def _run_build(args: argparse.Namespace) -> int:
             shard_size=args.shard_size,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            max_retries=args.max_retries,
+            worker_timeout_s=args.worker_timeout,
+            faults=faults,
         )
     print(
         f"built {stats.built}/{stats.total} samples in {stats.seconds:.2f}s "
         f"({stats.points_per_second:.1f} pts/s, workers={stats.workers}): "
         f"{stats.shards_written} shards written, "
         f"{stats.shards_skipped} resumed, "
-        f"cache {stats.cache_hits} hits / {stats.cache_misses} misses"
+        f"cache {stats.cache_hits} hits / {stats.cache_misses} misses, "
+        f"{stats.retries} retries, {stats.quarantined} quarantined"
     )
     _print_summary(dataset, str(args.out))
     return 0
@@ -143,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="skip shards an interrupted build already wrote")
     build.add_argument("--obs", action="store_true",
                        help="record the build (stats + spans) under REPRO_OBS_DIR")
+    build.add_argument("--max-retries", type=int, default=DEFAULT_MAX_RETRIES,
+                       help="rebuild attempts before quarantining a sample")
+    build.add_argument("--worker-timeout", type=float,
+                       default=DEFAULT_WORKER_TIMEOUT_S,
+                       help="seconds before a hung pool chunk is reclaimed")
+    build.add_argument("--inject", default=None, metavar="FAULTS_JSON",
+                       help="fault plan (repro.faults JSON) for chaos builds")
     build.set_defaults(run=_run_build)
 
     migrate = verbs.add_parser(

@@ -17,6 +17,14 @@ sharded dataset (:mod:`repro.dataset.shards`):
 - **Resumability** — the manifest is checkpointed after every shard;
   restarting a killed build skips every shard already on disk and
   completes the manifest.
+- **Fault tolerance** — a sample that raises (or whose pool worker dies
+  abruptly) is retried up to ``max_retries`` times in the driver —
+  deterministically, since generation is pure in ``(config, seed,
+  index)`` — then *quarantined* into the manifest's ``failed`` list and
+  the build continues; one bad kernel or one killed worker no longer
+  aborts a 40k-sample run. The per-sample build is wrapped in the
+  ``pipeline.build`` fault seam (:mod:`repro.faults`), keyed by sample
+  index, so chaos tests can schedule failures and kills precisely.
 
 Typical use::
 
@@ -35,6 +43,7 @@ or from the shell::
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -42,6 +51,8 @@ import multiprocessing
 import os
 import pickle
 import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -57,6 +68,7 @@ from repro.dataset.shards import (
     shard_filename,
     write_shard,
 )
+from repro.faults import FaultInjector, FaultPlan, fault_point, use_faults
 from repro.frontend.ast_ import For, If, Program
 from repro.frontend.printer import to_c_source
 from repro.graph.data import GraphData
@@ -68,6 +80,14 @@ from repro.suites.registry import SUITE_NAMES, suite_programs
 from repro.tensor import get_default_dtype
 
 DEFAULT_SHARD_SIZE = 256
+
+#: Driver-side rebuild attempts for a sample whose first build failed.
+DEFAULT_MAX_RETRIES = 2
+
+#: Ceiling on one pool chunk's build time before the driver declares the
+#: worker lost and rebuilds the chunk itself. Abrupt worker death is
+#: detected immediately (broken pool); the timeout only catches hangs.
+DEFAULT_WORKER_TIMEOUT_S = 300.0
 
 MODES = ("dfg", "cdfg", "real")
 
@@ -82,6 +102,8 @@ class BuildStats:
     cache_misses: int = 0
     shards_written: int = 0
     shards_skipped: int = 0  # complete shards reused by --resume
+    retries: int = 0  # extra build attempts after a failure
+    quarantined: int = 0  # samples given up on (manifest `failed` list)
     workers: int = 1
     seconds: float = 0.0
 
@@ -97,6 +119,8 @@ class BuildStats:
             "cache_misses": self.cache_misses,
             "shards_written": self.shards_written,
             "shards_skipped": self.shards_skipped,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
             "workers": self.workers,
             "seconds": round(self.seconds, 3),
             "points_per_second": round(self.points_per_second, 1),
@@ -301,6 +325,7 @@ def _real_program_table(suites: tuple[str, ...]) -> list[tuple[Program, str]]:
 def _build_one(spec: dict, index: int) -> tuple[int, GraphData, bool]:
     """Build (or fetch from cache) sample ``index``; returns
     ``(index, sample, cache_hit)``."""
+    fault_point("pipeline.build", str(index))
     mode = spec["mode"]
     device: DeviceModel = spec["device"]
     encoder = FeatureEncoder()
@@ -356,49 +381,150 @@ def _init_worker(spec: dict) -> None:
     from repro.tensor import set_default_dtype
 
     set_default_dtype(np.dtype(spec["dtype"]))
+    plan: FaultPlan | None = spec.get("faults")
+    if plan is not None:
+        from repro.faults import set_injector
+
+        # in_worker: kill specs os._exit the process — a real lost task,
+        # exactly what SIGKILL/OOM look like from the driver's side.
+        set_injector(FaultInjector(plan, in_worker=True))
 
 
-def _pool_build(index: int) -> tuple[int, GraphData, bool, dict]:
-    """Worker task: the built sample plus the worker tracer's spans.
+def _pool_build_chunk(
+    indices: list[int],
+) -> tuple[list[tuple[int, GraphData | None, bool, str | None]], dict]:
+    """Worker task: one chunk of samples plus the worker tracer's spans.
 
-    Each worker process aggregates spans into its own process-global
-    tracer; draining per result ships the accumulated table to the
-    driver piggybacked on the sample (merge-on-join), so span telemetry
-    survives multiprocessing without shared state.
+    Per-index exceptions are caught and returned as error rows (the
+    driver retries them), so one bad sample never discards its chunk
+    mates' finished work. Spans aggregate in the worker's process-global
+    tracer and ship to the driver piggybacked on the chunk
+    (merge-on-join), so telemetry survives multiprocessing without
+    shared state.
     """
-    index, sample, hit = _build_one(_SPEC, index)
-    return index, sample, hit, get_tracer().drain()
+    rows: list[tuple[int, GraphData | None, bool, str | None]] = []
+    for index in indices:
+        try:
+            _, sample, hit = _build_one(_SPEC, index)
+            rows.append((index, sample, hit, None))
+        except Exception as exc:  # noqa: BLE001 - retried by the driver
+            rows.append((index, None, False, f"{type(exc).__name__}: {exc}"))
+    return rows, get_tracer().drain()
 
 
-def _result_stream(
-    spec: dict, indices: list[int], workers: int
-) -> Iterator[tuple[int, GraphData, bool]]:
-    """Ordered stream of built samples for ``indices``.
+#: One built sample's accounting row:
+#: ``(index, sample | None, cache_hit, retries_spent, error | None)``.
+_Row = tuple[int, "GraphData | None", bool, int, "str | None"]
 
-    ``workers <= 1`` builds in-process (no pool overhead — this is also
-    the serial baseline the benchmark compares against); otherwise a
-    pool of ``workers`` processes feeds an ordered ``imap``, and each
-    worker's span telemetry is merged into the driver's tracer as its
-    results arrive.
+
+def _recover(spec: dict, index: int, first_error: str | None = None) -> _Row:
+    """Driver-side retries for a sample whose first attempt failed.
+
+    Deterministic: generation is pure in ``(config, seed, index)``, so a
+    retry recomputes exactly the original sample — only transient faults
+    (a killed worker, an injected failure schedule that has run out)
+    disappear on retry; a genuinely bad kernel fails every attempt and
+    is quarantined.
     """
-    if workers <= 1 or len(indices) <= 1:
-        for index in indices:
-            yield _build_one(spec, index)
-        return
+    max_retries = spec.get("max_retries", DEFAULT_MAX_RETRIES)
+    last = first_error or "lost worker (killed or timed out)"
+    for attempt in range(1, max_retries + 1):
+        try:
+            _, sample, hit = _build_one(spec, index)
+            return index, sample, hit, attempt, None
+        except Exception as exc:  # noqa: BLE001 - quarantine after retries
+            last = f"{type(exc).__name__}: {exc}"
+    return index, None, False, max_retries, last
+
+
+def _serial_rows(spec: dict, indices: list[int]) -> Iterator[_Row]:
+    max_retries = spec.get("max_retries", DEFAULT_MAX_RETRIES)
+    for index in indices:
+        last: str | None = None
+        row: _Row | None = None
+        for attempt in range(max_retries + 1):
+            try:
+                _, sample, hit = _build_one(spec, index)
+                row = (index, sample, hit, attempt, None)
+                break
+            except Exception as exc:  # noqa: BLE001 - quarantine below
+                last = f"{type(exc).__name__}: {exc}"
+        yield row if row is not None else (index, None, False, max_retries, last)
+
+
+def _pool_rows(spec: dict, indices: list[int], workers: int) -> Iterator[_Row]:
+    """Ordered, lost-worker-tolerant fan-out over a process pool.
+
+    Chunks go through a :class:`ProcessPoolExecutor` — unlike
+    ``Pool.imap`` its futures *fail fast* (``BrokenProcessPool``) when a
+    worker dies abruptly instead of hanging forever on the lost task.
+    A failed or lost chunk is rebuilt in the driver process with the
+    retry budget; after a broken pool the executor is recreated and the
+    remaining chunks resubmitted, so one killed worker costs one chunk
+    of recovery work, not the build.
+    """
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     )
-    chunksize = max(1, min(32, len(indices) // (workers * 4)))
+    chunk_size = max(1, min(32, len(indices) // (workers * 4)))
+    chunks = [
+        indices[start : start + chunk_size]
+        for start in range(0, len(indices), chunk_size)
+    ]
+    timeout = spec.get("worker_timeout_s", DEFAULT_WORKER_TIMEOUT_S)
     tracer = get_tracer()
-    with context.Pool(
-        processes=workers, initializer=_init_worker, initargs=(spec,)
-    ) as pool:
-        for index, sample, hit, spans in pool.imap(
-            _pool_build, indices, chunksize=chunksize
-        ):
-            if spans:
-                tracer.merge(spans)
-            yield index, sample, hit
+    position = 0
+    while position < len(chunks):
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(spec,),
+        )
+        resubmit = True
+        try:
+            futures = [
+                executor.submit(_pool_build_chunk, chunk)
+                for chunk in chunks[position:]
+            ]
+            for offset, future in enumerate(futures):
+                chunk = chunks[position + offset]
+                try:
+                    rows, spans = future.result(timeout)
+                except (BrokenProcessPool, FutureTimeout, OSError):
+                    # Lost worker: rebuild this chunk in-process, then
+                    # restart the pool for everything after it.
+                    for index in chunk:
+                        yield _recover(spec, index)
+                    position += offset + 1
+                    break
+                if spans:
+                    tracer.merge(spans)
+                for index, sample, hit, error in rows:
+                    if error is None:
+                        yield index, sample, hit, 0, None
+                    else:
+                        yield _recover(spec, index, first_error=error)
+            else:
+                resubmit = False
+                position = len(chunks)
+        finally:
+            executor.shutdown(wait=not resubmit, cancel_futures=True)
+
+
+def _result_stream(spec: dict, indices: list[int], workers: int) -> Iterator[_Row]:
+    """Ordered stream of per-sample rows for ``indices``.
+
+    ``workers <= 1`` builds in-process (no pool overhead — this is also
+    the serial baseline the benchmark compares against); otherwise the
+    chunked executor fan-out of :func:`_pool_rows`. Both paths retry
+    failures up to ``spec["max_retries"]`` and emit quarantine rows
+    (``sample is None``) instead of raising.
+    """
+    if workers <= 1 or len(indices) <= 1:
+        yield from _serial_rows(spec, indices)
+    else:
+        yield from _pool_rows(spec, indices, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -443,17 +569,27 @@ def _build_descriptor(
 def _reusable_shards(
     root: Path, manifest: Manifest | None, planned: Iterable[tuple[int, int, int]]
 ) -> dict[int, ShardInfo]:
-    """Planned shards already complete on disk (file present, span matches)."""
+    """Planned shards already complete on disk (file present, span matches).
+
+    A shard's expected population is its planned span *minus* any
+    samples the previous run quarantined inside that span — a shard that
+    completed with quarantined samples is still done; rebuilding it
+    would retry known-bad kernels on every resume.
+    """
     if manifest is None:
         return {}
-    by_start = {info.start: info for info in manifest.shards}
+    by_file = {info.file: info for info in manifest.shards}
+    failed_by_shard: dict[int, int] = {}
+    for entry in manifest.failed:
+        shard_index = int(entry["index"]) // max(manifest.shard_size, 1)
+        failed_by_shard[shard_index] = failed_by_shard.get(shard_index, 0) + 1
     reusable = {}
-    for shard_index, start, num in planned:
-        info = by_start.get(start)
+    for shard_index, _start, num in planned:
+        info = by_file.get(shard_filename(shard_index))
+        expected = num - failed_by_shard.get(shard_index, 0)
         if (
             info is not None
-            and info.num_samples == num
-            and info.file == shard_filename(shard_index)
+            and info.num_samples == expected
             and (root / info.file).exists()
         ):
             reusable[shard_index] = info
@@ -483,6 +619,9 @@ def build_pipeline(
     resume: bool = False,
     device: DeviceModel = DEFAULT_DEVICE,
     suites: tuple[str, ...] = SUITE_NAMES,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    worker_timeout_s: float = DEFAULT_WORKER_TIMEOUT_S,
+    faults: FaultPlan | None = None,
 ) -> tuple[ShardedDataset, BuildStats]:
     """Build a sharded dataset at ``out_dir``; returns ``(reader, stats)``.
 
@@ -492,6 +631,15 @@ def build_pipeline(
     configuration continues where it left off; without it any existing
     build at ``out_dir`` is discarded. ``cache_dir`` enables the
     content-addressed sample cache shared across builds.
+
+    Failures don't abort the build: each failed sample (exception,
+    killed worker, or hang past ``worker_timeout_s``) is retried up to
+    ``max_retries`` times in the driver, then quarantined into the
+    manifest's ``failed`` list while the build continues; the resulting
+    dataset is dense over the surviving samples. ``faults`` installs a
+    deterministic :class:`~repro.faults.FaultPlan` on the driver and on
+    every pool worker (in-worker kill specs really ``os._exit``) — the
+    chaos-test entry point.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -555,6 +703,9 @@ def build_pipeline(
         "suites": tuple(suites),
         "cache_dir": str(cache_dir) if cache_dir else None,
         "dtype": np.dtype(get_default_dtype()).name,
+        "max_retries": max_retries,
+        "worker_timeout_s": worker_timeout_s,
+        "faults": faults,
     }
 
     manifest = Manifest(
@@ -564,32 +715,68 @@ def build_pipeline(
         encoder_schema=encoder_schema,
         build=descriptor,
     )
-    results = _result_stream(spec, to_build, workers)
-    infos: list[ShardInfo] = []
-    for shard_index, start, num in planned:
-        if shard_index in reusable:
-            infos.append(reusable[shard_index])
-            stats.shards_skipped += 1
-            continue
-        chunk: list[GraphData] = []
-        for _ in range(num):
-            index, sample, hit = next(results)
-            if index != start + len(chunk):
-                raise RuntimeError(
-                    f"pipeline ordering violated: expected sample "
-                    f"{start + len(chunk)}, got {index}"
-                )
-            chunk.append(sample)
-            stats.built += 1
-            stats.cache_hits += int(hit)
-            stats.cache_misses += int(not hit)
-        infos.append(write_shard(out_dir, shard_index, start, chunk))
-        stats.shards_written += 1
-        # Checkpoint after every shard: a kill between shards resumes
-        # cleanly from the manifest prefix written here.
-        manifest.shards = list(infos)
-        manifest.save(out_dir)
+    # Quarantine entries from reused shards carry over (their samples
+    # stay missing); rebuilt spans get a fresh chance.
+    if existing is not None:
+        manifest.failed = [
+            entry
+            for entry in existing.failed
+            if int(entry["index"]) // shard_size in reusable
+        ]
+        stats.quarantined += len(manifest.failed)
 
+    # The driver applies the same fault plan as the workers (with
+    # in-process kill semantics) so recovery retries stay deterministic.
+    driver_faults = (
+        use_faults(FaultInjector(faults)) if faults is not None
+        else contextlib.nullcontext()
+    )
+    with driver_faults:
+        results = _result_stream(spec, to_build, workers)
+        infos: list[ShardInfo] = []
+        next_start = 0  # dense start over *surviving* samples
+        for shard_index, start, num in planned:
+            if shard_index in reusable:
+                info = reusable[shard_index]
+                # Re-anchor: earlier shards rebuilt this run may have
+                # quarantined a different set, shifting dense starts.
+                infos.append(
+                    ShardInfo(
+                        file=info.file, start=next_start,
+                        num_samples=info.num_samples,
+                    )
+                )
+                next_start += info.num_samples
+                stats.shards_skipped += 1
+                continue
+            chunk: list[GraphData] = []
+            for expected in range(start, start + num):
+                index, sample, hit, retries, error = next(results)
+                if index != expected:
+                    raise RuntimeError(
+                        f"pipeline ordering violated: expected sample "
+                        f"{expected}, got {index}"
+                    )
+                stats.built += 1
+                stats.retries += retries
+                if sample is None:
+                    stats.quarantined += 1
+                    manifest.failed.append(
+                        {"index": index, "error": error, "retries": retries}
+                    )
+                    continue
+                chunk.append(sample)
+                stats.cache_hits += int(hit)
+                stats.cache_misses += int(not hit)
+            infos.append(write_shard(out_dir, shard_index, next_start, chunk))
+            next_start += len(chunk)
+            stats.shards_written += 1
+            # Checkpoint after every shard: a kill between shards resumes
+            # cleanly from the manifest prefix written here.
+            manifest.shards = list(infos)
+            manifest.save(out_dir)
+
+    manifest.failed.sort(key=lambda entry: entry["index"])
     manifest.shards = infos
     manifest.complete = True
     manifest.save(out_dir)
@@ -599,6 +786,8 @@ def build_pipeline(
     registry.inc("pipeline.samples_built", stats.built)
     registry.inc("pipeline.cache_hits", stats.cache_hits)
     registry.inc("pipeline.cache_misses", stats.cache_misses)
+    registry.inc("pipeline.retries", stats.retries)
+    registry.inc("pipeline.quarantined", stats.quarantined)
     registry.observe("pipeline.build_s", stats.seconds)
     registry.set_gauge("pipeline.points_per_second", stats.points_per_second)
     ledger = active_ledger()

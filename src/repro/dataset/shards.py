@@ -66,6 +66,13 @@ class Manifest:
     #: Free-form build provenance (mode, count, seed, device, ...) used
     #: by resumable builds to refuse mixing incompatible configurations.
     build: dict = field(default_factory=dict)
+    #: Quarantined samples: ``{"index", "error", "retries"}`` per sample
+    #: that kept failing after the pipeline's retries. Their indices are
+    #: *build* indices (the deterministic (config, seed, index) space);
+    #: the dataset itself stays dense — shards skip quarantined samples
+    #: and ``num_samples`` still counts the planned build, so a complete
+    #: manifest satisfies ``covered + len(failed) == num_samples``.
+    failed: list[dict] = field(default_factory=list)
     shards: list[ShardInfo] = field(default_factory=list)
 
     def to_json(self) -> str:
@@ -173,10 +180,12 @@ class ShardedDataset(Sequence[GraphData]):
         )
         covered = sum(info.num_samples for info in self.manifest.shards)
         self._length = covered
-        if self.manifest.complete and covered != self.manifest.num_samples:
+        expected = self.manifest.num_samples - len(self.manifest.failed)
+        if self.manifest.complete and covered != expected:
             raise ValueError(
                 f"manifest covers {covered} samples but declares "
-                f"{self.manifest.num_samples}"
+                f"{self.manifest.num_samples} with {len(self.manifest.failed)} "
+                "quarantined"
             )
 
     def __len__(self) -> int:

@@ -38,9 +38,21 @@ source text (parsed, lowered and encoded on the fly)::
     dsp, lut, ff, cp = service.predict_source(c_text)      # end to end
     rows = service.predict(graphs)                         # batched
 
+On top of the synchronous service sits the fault-tolerant serving tier,
+:class:`~repro.serve.server.PredictionServer` — worker threads, a
+bounded queue with deadline-aware adaptive batching, backpressure
+(typed :class:`~repro.serve.server.Overloaded` sheds), retries with
+jittered exponential backoff, a circuit breaker that degrades to the
+analytical models (:class:`~repro.serve.fallback.AnalyticalFallback`,
+responses tagged ``degraded=True``) and zero-downtime hot reload from
+the registry. See the :mod:`repro.serve.server` docstring for the full
+request lifecycle.
+
 ``python -m repro.serve`` exposes all of this on the command line
-(``save`` / ``list`` / ``predict`` / ``bench``), including a JSON-lines
-request loop for driving the service from other processes.
+(``save`` / ``list`` / ``predict`` / ``bench`` / ``stress``), including
+a JSON-lines request loop for driving the service from other processes
+and a chaos stress harness (``stress --inject faults.json``) built on
+:mod:`repro.faults`.
 """
 
 from repro.serve.artifacts import (
@@ -52,7 +64,21 @@ from repro.serve.artifacts import (
     save_predictor,
 )
 from repro.serve.encoding import encode_program, encode_source, graph_from_payload
+from repro.serve.fallback import AnalyticalFallback, FallbackUnavailable
 from repro.serve.registry import ModelRecord, ModelRegistry, RegistryError
+from repro.serve.server import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    Overloaded,
+    PredictionServer,
+    RequestFailed,
+    ServeError,
+    ServeOutcome,
+    ServerClosed,
+    ServerConfig,
+    ServerStats,
+    ServerTicket,
+)
 from repro.serve.service import (
     PendingPrediction,
     PredictionService,
@@ -70,9 +96,22 @@ __all__ = [
     "encode_program",
     "encode_source",
     "graph_from_payload",
+    "AnalyticalFallback",
+    "FallbackUnavailable",
     "ModelRecord",
     "ModelRegistry",
     "RegistryError",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "Overloaded",
+    "PredictionServer",
+    "RequestFailed",
+    "ServeError",
+    "ServeOutcome",
+    "ServerClosed",
+    "ServerConfig",
+    "ServerStats",
+    "ServerTicket",
     "PendingPrediction",
     "PredictionService",
     "ServiceConfig",

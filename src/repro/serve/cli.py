@@ -6,6 +6,7 @@ Verbs::
     list     show every (name, version) in a registry
     predict  answer one C-source request, or serve a JSON-lines loop
     bench    measure single/batched/cached serving throughput
+    stress   chaos-stress the concurrent serving tier (repro.faults)
 
 Examples::
 
@@ -15,6 +16,8 @@ Examples::
     echo '{"id": 1, "source": "..."}' | python -m repro.serve predict \\
         --name rgcn-hier --jsonl
     python -m repro.serve bench --name rgcn-hier --requests 64
+    python -m repro.serve stress --inject faults.json --obs \\
+        --bench-out BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -124,7 +127,10 @@ def _jsonl_loop(service: PredictionService, args: argparse.Namespace) -> int:
     Each request is ``{"id": ..., "source": "..."}`` or
     ``{"id": ..., "graph": {...}}`` (see
     :func:`repro.serve.encoding.graph_from_payload`); each response line
-    echoes the id with a ``prediction`` or an ``error``.
+    echoes the id with a ``prediction`` or a structured ``error``
+    (``{"type": ..., "message": ...}``). A malformed line — bad JSON, a
+    parse error, an invalid graph, even a model failure — poisons only
+    its own response; the loop keeps serving.
     """
     from repro.serve.encoding import encode_source, graph_from_payload
 
@@ -151,7 +157,10 @@ def _jsonl_loop(service: PredictionService, args: argparse.Namespace) -> int:
             response["prediction"] = _prediction_json(values)
             response["cached"] = service.stats.cache_hits > hits_before
         except Exception as exc:  # noqa: BLE001 — the loop must not die
-            response["error"] = str(exc)
+            response["error"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+            }
         print(json.dumps(response), flush=True)
     return 0
 
@@ -208,6 +217,72 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ledger.record("serve_bench", summary)
             ledger.attach_registry(service.metrics)
     print(json.dumps(summary))
+    return 0
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    """Chaos-stress the serving tier; non-zero exit on any hung request."""
+    import contextlib
+
+    from repro.faults import load_fault_plan, use_faults
+    from repro.serve.server import PredictionServer, ServerConfig
+    from repro.serve.stress import ephemeral_predictor, run_stress
+
+    plan = load_fault_plan(args.inject) if args.inject else None
+    config = ServerConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        default_deadline_ms=args.deadline_ms,
+        max_retries=args.max_retries,
+        retry_seed=args.seed,
+        cache_size=args.cache_size,
+    )
+    if args.name:
+        server = PredictionServer(
+            args.registry, args.name, args.version, config=config
+        )
+    else:
+        # Registry-less smoke (CI): train a tiny throwaway model.
+        print("no --name given; training an ephemeral predictor", file=sys.stderr)
+        server = PredictionServer.from_predictor(
+            ephemeral_predictor(args.seed), config=config
+        )
+    faults_scope = use_faults(plan) if plan is not None else contextlib.nullcontext()
+    with server, faults_scope:
+        summary = run_stress(
+            server,
+            requests=args.requests,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            mode=args.mode,
+        )
+
+    if args.bench_out:
+        # Merge as the "stress" section of the serve bench artifact so
+        # check_regression gates rps/p99 alongside the throughput gates.
+        from pathlib import Path
+
+        path = Path(args.bench_out)
+        payload = json.loads(path.read_text()) if path.exists() else {}
+        payload["stress"] = summary
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    if args.obs:
+        from repro.obs import RunLedger
+
+        model = f"{args.name}@{args.version}" if args.name else "ephemeral"
+        with RunLedger(
+            "serve-stress",
+            meta={"model": model, "inject": args.inject or "none"},
+            config={"requests": args.requests, "seed": args.seed},
+        ) as ledger:
+            ledger.record("serve_stress", summary)
+            ledger.attach_registry(server.metrics)
+    print(json.dumps(summary))
+    if summary["hung"]:
+        print(f"error: {summary['hung']} requests hung", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -279,6 +354,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the run (summary + latency histograms) under REPRO_OBS_DIR",
     )
     bench.set_defaults(func=cmd_bench)
+
+    stress = sub.add_parser(
+        "stress", help="chaos-stress the concurrent serving tier"
+    )
+    _add_registry_args(stress)
+    stress.add_argument(
+        "--name", default=None,
+        help="registered model name (omit to train an ephemeral tiny model)",
+    )
+    stress.add_argument("--version", default="latest", help="vN or 'latest'")
+    stress.add_argument("--requests", type=int, default=96)
+    stress.add_argument("--mode", default="dfg", choices=["dfg", "cdfg"])
+    stress.add_argument("--seed", type=int, default=0)
+    stress.add_argument("--workers", type=int, default=2)
+    stress.add_argument("--queue-depth", type=int, default=16)
+    stress.add_argument("--batch-size", type=int, default=16)
+    stress.add_argument("--cache-size", type=int, default=1024)
+    stress.add_argument("--max-wait-ms", type=float, default=2.0)
+    stress.add_argument("--deadline-ms", type=float, default=500.0)
+    stress.add_argument("--max-retries", type=int, default=2)
+    stress.add_argument(
+        "--inject", default=None, metavar="FAULTS_JSON",
+        help="fault plan (repro.faults JSON) injected under the traffic",
+    )
+    stress.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="merge the summary into PATH as its 'stress' section",
+    )
+    stress.add_argument(
+        "--obs",
+        action="store_true",
+        help="record the run (summary + serve.* metrics) under REPRO_OBS_DIR",
+    )
+    stress.set_defaults(func=cmd_stress)
     return parser
 
 

@@ -1,0 +1,88 @@
+"""Degraded-mode answers from the analytical HLS models.
+
+When the serving tier's circuit breaker takes the GNN predictor out of
+rotation (see :mod:`repro.serve.server`), requests are not failed — they
+fall back to the analytical models the predictor was trained to imitate
+and come back tagged ``degraded=True``:
+
+- a request that still carries its *program* (C source parsed at the
+  boundary, or an AST) goes through the real analytical flow —
+  :func:`repro.hls.flow.run_hls` — and returns the implementation
+  model's DSP/LUT/FF/CP exactly, plus the
+  :mod:`repro.hls.latency` loop-forest cycle estimate;
+- a graph-only request cannot be re-synthesised, so the fallback prices
+  it structurally: per-node resource values (the knowledge-rich
+  ``node_resources`` channel, itself produced by the intermediate HLS
+  stages) are summed when present, otherwise resources are estimated
+  from node/edge counts at the rates of a typical kernel, and CP falls
+  back to the device's timing budget.
+
+Degraded answers are *coarser* than the GNN's (that is the point of the
+predictor), but they are finite, well-scaled and always available — an
+SLO-friendly floor under model outages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.ast_ import Program
+from repro.graph.data import GraphData
+from repro.hls.resource_library import DEFAULT_DEVICE, DeviceModel
+
+#: Per-node resource rates for graphs with no resource channel, fitted
+#: loosely to the synthetic corpus (order: DSP, LUT, FF per node). Only
+#: the *scale* matters — this is the floor under a model outage, not a
+#: predictor.
+_NODE_RATES = (0.05, 6.0, 4.0)
+
+
+class FallbackUnavailable(ValueError):
+    """The analytical fallback cannot price this request."""
+
+
+class AnalyticalFallback:
+    """Price serve requests with the analytical models (no GNN)."""
+
+    def __init__(self, device: DeviceModel = DEFAULT_DEVICE):
+        self.device = device
+
+    def predict_program(self, program: Program) -> tuple[np.ndarray, int | None]:
+        """Exact analytical answer: ``(DSP/LUT/FF/CP, latency cycles)``.
+
+        Runs the full simulated flow — schedule, bind, implement — so a
+        program-backed request degrades to the very numbers the dataset
+        labels graphs with.
+        """
+        from repro.frontend.lower import lower_program
+        from repro.hls.flow import run_hls
+
+        hls = run_hls(lower_program(program), device=self.device)
+        cycles = hls.latency.cycles if hls.latency is not None else None
+        return hls.impl.as_array().astype(np.float64), cycles
+
+    def predict_graph(self, graph: GraphData) -> np.ndarray:
+        """Structural estimate for a graph-only request.
+
+        ``node_resources`` (when the request carries the knowledge-rich
+        channel) already holds the intermediate flow's per-node
+        DSP/LUT/FF attribution — summing it recovers the synthesis-report
+        scale. Without it, resources are priced per node at typical
+        rates. CP degrades to the device's timing budget (the clock
+        period less its uncertainty margin — what the scheduler aims
+        for).
+        """
+        cp = self.device.clock_period_ns - self.device.clock_uncertainty_ns
+        if graph.node_resources is not None:
+            dsp, lut, ff = np.asarray(graph.node_resources, dtype=np.float64).sum(
+                axis=0
+            )
+        else:
+            dsp, lut, ff = (rate * graph.num_nodes for rate in _NODE_RATES)
+        return np.array([dsp, lut, ff, cp], dtype=np.float64)
+
+    def predict(self, graph: GraphData, program: Program | None = None):
+        """Best available degraded answer: ``(values, latency_cycles)``."""
+        if program is not None:
+            return self.predict_program(program)
+        return self.predict_graph(graph), None

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.graph.data import GraphData
 from repro.graph.validation import validate_inference_graph
 from repro.obs.metrics import MetricsRegistry
@@ -73,6 +74,9 @@ class ServiceStats:
     :class:`~repro.obs.MetricsRegistry` (alongside the request/batch
     latency histograms); this view keeps the historical attribute API —
     ``service.stats.cache_hits`` etc. — working unchanged.
+    :class:`repro.serve.server.ServerStats` subclasses it with the
+    serving tier's additional counters via the ``fields`` class
+    attribute.
 
     Invariant: every accepted request is counted exactly once in
     ``cache_hits + cache_misses + coalesced``; requests rejected at the
@@ -83,18 +87,21 @@ class ServiceStats:
 
     __slots__ = ("_metrics",)
 
+    #: Counter names this view exposes (``serve.`` prefixed in the registry).
+    fields: tuple[str, ...] = _STAT_FIELDS
+
     def __init__(self, metrics: MetricsRegistry | None = None):
         self._metrics = metrics if metrics is not None else MetricsRegistry()
 
     def __getattr__(self, name: str) -> int:
-        if name in _STAT_FIELDS:
+        if name in type(self).fields:
             return self._metrics.counter(f"serve.{name}").value
         raise AttributeError(name)
 
     def to_dict(self) -> dict[str, int]:
         """The counters as a plain dict — the one serialization path
         shared by ``BENCH_serve.json``, the serve CLI and the ledger."""
-        return {name: getattr(self, name) for name in _STAT_FIELDS}
+        return {name: getattr(self, name) for name in type(self).fields}
 
     # Historical name, kept for callers predating the obs layer.
     as_dict = to_dict
@@ -107,12 +114,15 @@ class ServiceStats:
 class _Inflight:
     """One distinct pending graph shared by all its tickets."""
 
-    __slots__ = ("fingerprint", "graph", "value")
+    __slots__ = ("fingerprint", "graph", "value", "error")
 
     def __init__(self, fingerprint: str, graph: GraphData):
         self.fingerprint = fingerprint
         self.graph = graph
         self.value: np.ndarray | None = None
+        #: The exception that killed this entry's flush chunk, if any —
+        #: surfaced to every ticket on the entry as ``__cause__``.
+        self.error: BaseException | None = None
 
 
 class PendingPrediction:
@@ -124,15 +134,25 @@ class PendingPrediction:
 
     @property
     def done(self) -> bool:
-        return self._entry.value is not None
+        return self._entry.value is not None or self._entry.error is not None
 
     def result(self) -> np.ndarray:
-        """The DSP/LUT/FF/CP prediction, forcing a flush if still queued."""
+        """The DSP/LUT/FF/CP prediction, forcing a flush if still queued.
+
+        A request whose flush chunk failed raises ``RuntimeError`` with
+        the underlying model exception chained as ``__cause__`` — callers
+        see *why* the batch died, and only that batch is poisoned.
+        """
+        if self._entry.value is None and self._entry.error is None:
+            try:
+                self._service.flush()
+            except Exception as exc:  # noqa: BLE001 - recorded, re-raised below
+                if self._entry.error is None:
+                    self._entry.error = exc
         if self._entry.value is None:
-            self._service.flush()
-        if self._entry.value is None:
-            # The flush that should have produced this value failed.
-            raise RuntimeError("prediction failed for this request; resubmit")
+            raise RuntimeError(
+                "prediction failed for this request; resubmit"
+            ) from self._entry.error
         return self._entry.value.copy()
 
 
@@ -248,25 +268,38 @@ class PredictionService:
     def flush(self) -> int:
         """Evaluate every pending graph; returns how many were run.
 
-        Exception-safe: if a model call fails, every still-unresolved
-        entry is dropped from the in-flight table before re-raising, so
-        later submissions of the same graphs get fresh evaluations
-        instead of coalescing onto dead entries.
+        Exception-safe, chunk-isolated: a failed model call poisons only
+        the entries of *that* chunk — each records the exception (their
+        tickets re-raise it as ``__cause__``) — while later chunks still
+        run. Every flushed entry, resolved or poisoned, leaves the
+        in-flight table, so later submissions of the same graphs get
+        fresh evaluations instead of coalescing onto dead entries. The
+        first chunk failure is re-raised once the whole flush completes.
         """
         pending, self._pending = self._pending, []
         if not pending:
             return 0
         self._count["flushes"].inc()
         size = self.config.max_batch_size
+        first_error: BaseException | None = None
         try:
             for start in range(0, len(pending), size):
                 chunk = pending[start : start + size]
-                # max_batch_size governs the fused model batch end to end
-                # — without it the predictor would silently re-chunk.
-                chunk_start = time.perf_counter()
-                predictions = self.predictor.predict(
-                    [e.graph for e in chunk], batch_size=size
-                )
+                try:
+                    fault_point("serve.flush")
+                    # max_batch_size governs the fused model batch end to
+                    # end — without it the predictor would silently
+                    # re-chunk.
+                    chunk_start = time.perf_counter()
+                    predictions = self.predictor.predict(
+                        [e.graph for e in chunk], batch_size=size
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolate the chunk
+                    for entry in chunk:
+                        entry.error = exc
+                    if first_error is None:
+                        first_error = exc
+                    continue
                 chunk_s = time.perf_counter() - chunk_start
                 self._batch_latency.observe(chunk_s)
                 # Per-graph share of the fused batch — what p50/p99 serve
@@ -282,6 +315,8 @@ class PredictionService:
         finally:
             for entry in pending:
                 self._inflight.pop(entry.fingerprint, None)
+        if first_error is not None:
+            raise first_error
         return len(pending)
 
     # -- convenience front-ends -------------------------------------------

@@ -22,6 +22,7 @@ from repro.dataset import (
 from repro.dataset.features import FeatureEncoder
 from repro.dataset.pipeline import cache_key, program_digest
 from repro.dataset.shards import MANIFEST_NAME
+from repro.faults import FaultPlan, FaultSpec
 from repro.gnn.network import GraphRegressor
 from repro.hls.resource_library import DEFAULT_DEVICE
 from repro.ldrgen import GeneratorConfig, generate_sample
@@ -329,3 +330,154 @@ class TestStreamingTraining:
         assert first == second  # schedule replays identically
         assert len(streaming) == 3
         assert [b.num_graphs for b in in_memory] == [4, 4, 4]
+
+
+class TestFaultTolerance:
+    """Retry, quarantine and lost-worker recovery via repro.faults."""
+
+    def test_transient_failure_retried_to_identical_output(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    seam="pipeline.build", on_keys=("3",), fail_on_calls=(1,)
+                ),
+            )
+        )
+        faulty, stats = build_pipeline(
+            tmp_path / "f", "dfg", 6, seed=7, shard_size=4, faults=plan
+        )
+        clean, _ = build_pipeline(tmp_path / "c", "dfg", 6, seed=7, shard_size=4)
+        assert stats.retries == 1
+        assert stats.quarantined == 0
+        assert faulty.manifest.failed == []
+        # Generation is pure in (config, seed, index): the retried sample
+        # is bitwise what it would have been without the fault.
+        for a, b in zip(faulty, clean):
+            assert_samples_equal(a, b)
+
+    def test_permanent_failure_quarantined_and_dataset_stays_dense(
+        self, tmp_path
+    ):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(seam="pipeline.build", on_keys=("3",), fail_rate=1.0),
+            )
+        )
+        dataset, stats = build_pipeline(
+            tmp_path / "q", "dfg", 7, seed=7, shard_size=4,
+            faults=plan, max_retries=2,
+        )
+        assert stats.quarantined == 1
+        assert stats.retries == 2  # the full budget was spent on index 3
+        assert len(dataset) == 6
+        failed = dataset.manifest.failed
+        assert [entry["index"] for entry in failed] == [3]
+        assert failed[0]["retries"] == 2
+        assert "injected fault" in failed[0]["error"]
+        # Shard starts stay dense over the survivors...
+        assert [(s.start, s.num_samples) for s in dataset.manifest.shards] == [
+            (0, 3),
+            (3, 3),
+        ]
+        # ...and every surviving sample is the clean build's, in order.
+        reference = build_synthetic_dataset("dfg", 7, seed=7)
+        survivors = [r for i, r in enumerate(reference) if i != 3]
+        for a, b in zip(dataset, survivors):
+            assert_samples_equal(a, b)
+        assert_samples_equal(dataset[len(dataset) - 1], survivors[-1])
+
+        # Same plan, fresh build: the failed list is reproducible.
+        again, again_stats = build_pipeline(
+            tmp_path / "q2", "dfg", 7, seed=7, shard_size=4,
+            faults=plan, max_retries=2,
+        )
+        assert again.manifest.failed == failed
+        assert again_stats.quarantined == 1
+
+    def test_killed_pool_worker_is_recovered_by_the_driver(self, tmp_path):
+        # kill=True inside a pool worker really os._exit()s the process;
+        # the driver sees a broken pool, rebuilds the chunk itself and
+        # restarts the pool for the remaining work.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    seam="pipeline.build", on_keys=("2",),
+                    fail_on_calls=(1,), kill=True,
+                ),
+            )
+        )
+        dataset, stats = build_pipeline(
+            tmp_path / "k", "dfg", 6, seed=7, shard_size=6,
+            workers=2, faults=plan,
+        )
+        assert stats.quarantined == 0
+        # The driver recovered at least the killed sample (its own call 1
+        # on key "2" raises WorkerKilled, the second attempt succeeds); a
+        # broken pool may take innocent in-flight chunk mates with it,
+        # each costing one extra recovery attempt.
+        assert stats.retries >= 2
+        assert len(dataset) == 6
+        reference = build_synthetic_dataset("dfg", 6, seed=7)
+        for a, b in zip(dataset, reference):
+            assert_samples_equal(a, b)
+
+    def test_resume_carries_quarantine_forward(self, tmp_path):
+        out = tmp_path / "ds"
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(seam="pipeline.build", on_keys=("1",), fail_rate=1.0),
+            )
+        )
+        full, stats = build_pipeline(
+            out, "dfg", 6, seed=1, shard_size=3, faults=plan
+        )
+        assert stats.quarantined == 1
+        reference = [s for s in full]
+
+        # Simulate a kill between shards, as in TestResume.
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        (out / manifest["shards"][-1]["file"]).unlink()
+        manifest["shards"] = manifest["shards"][:-1]
+        manifest["complete"] = False
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+        # Resume WITHOUT the fault plan: the reused shard must not retry
+        # its known-bad sample, and its quarantine entry must carry over.
+        resumed, rstats = build_pipeline(
+            out, "dfg", 6, seed=1, shard_size=3, resume=True
+        )
+        assert rstats.shards_skipped == 1
+        assert rstats.shards_written == 1
+        assert rstats.quarantined == 1
+        assert resumed.manifest.complete
+        assert [e["index"] for e in resumed.manifest.failed] == [1]
+        assert len(resumed) == 5
+        for a, b in zip(resumed, reference):
+            assert_samples_equal(a, b)
+
+    def test_build_cli_reports_quarantine(self, tmp_path, capsys):
+        from repro.dataset.__main__ import main as dataset_main
+
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(seam="pipeline.build", on_keys=("0",), fail_rate=1.0),
+            )
+        )
+        inject = tmp_path / "faults.json"
+        inject.write_text(plan.to_json())
+        assert (
+            dataset_main(
+                [
+                    "build",
+                    "--mode", "dfg",
+                    "--count", "3",
+                    "--out", str(tmp_path / "cli"),
+                    "--max-retries", "1",
+                    "--inject", str(inject),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 retries, 1 quarantined" in out
+        assert "wrote 2 graphs" in out

@@ -1,0 +1,186 @@
+"""Fault-injection layer: schedules, determinism, scoping, round-trips."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerKilled,
+    fault_point,
+    get_injector,
+    load_fault_plan,
+    use_faults,
+)
+
+
+class TestSpecsAndPlans:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="seam"):
+            FaultSpec(seam="")
+        with pytest.raises(ValueError, match="fail_rate"):
+            FaultSpec(seam="s", fail_rate=1.5)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(seam="s", delay_s=-1.0)
+
+    def test_json_round_trip_normalises_lists(self):
+        plan = FaultPlan(
+            seed=7,
+            specs=(
+                FaultSpec(seam="serve.predict", fail_on_calls=(2, 3)),
+                FaultSpec(
+                    seam="pipeline.build", on_keys=("4",), kill=True,
+                    fail_on_calls=(1,),
+                ),
+            ),
+        )
+        # JSON decodes tuples as lists; __post_init__ re-normalises so
+        # the round-tripped plan compares equal to the original.
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_plan_accepts_spec_dicts(self):
+        plan = FaultPlan(specs=({"seam": "s", "fail_on_calls": [1]},))
+        assert plan.specs[0] == FaultSpec(seam="s", fail_on_calls=(1,))
+
+    def test_for_seam_filters(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(seam="a"), FaultSpec(seam="b"), FaultSpec(seam="a"))
+        )
+        assert len(plan.for_seam("a")) == 2
+        assert plan.for_seam("c") == ()
+
+    def test_load_fault_plan_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        plan = FaultPlan(seed=3, specs=(FaultSpec(seam="s", fail_rate=0.5),))
+        path.write_text(plan.to_json())
+        assert load_fault_plan(path) == plan
+
+
+class TestInjector:
+    def test_raise_on_nth_call(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(seam="s", fail_on_calls=(1, 3)),))
+        )
+        with pytest.raises(InjectedFault, match=r"call 1"):
+            injector.check("s")
+        injector.check("s")  # call 2 passes
+        with pytest.raises(InjectedFault, match=r"call 3"):
+            injector.check("s")
+        injector.check("s")  # call 4 passes
+        assert injector.calls("s") == 4
+
+    def test_counters_are_per_seam_and_key(self):
+        spec = FaultSpec(seam="s", fail_on_calls=(1,))
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        with pytest.raises(InjectedFault):
+            injector.check("s", "a")
+        # Key "b" has its own schedule: its first call also fails.
+        with pytest.raises(InjectedFault):
+            injector.check("s", "b")
+        injector.check("s", "a")
+        assert injector.calls("s", "a") == 2
+        assert injector.calls("s", "b") == 1
+
+    def test_on_keys_restricts_eligibility(self):
+        spec = FaultSpec(seam="s", on_keys=("5",), fail_on_calls=(1,))
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        injector.check("s", "4")  # not eligible, not even counted
+        assert injector.calls("s", "4") == 0
+        with pytest.raises(InjectedFault):
+            injector.check("s", "5")
+
+    def test_fail_rate_is_a_pure_function_of_the_plan(self):
+        plan = FaultPlan(seed=11, specs=(FaultSpec(seam="s", fail_rate=0.4),))
+
+        def verdicts():
+            injector = FaultInjector(plan)
+            out = []
+            for _ in range(40):
+                try:
+                    injector.check("s")
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+            return out
+
+        first = verdicts()
+        assert first == verdicts()  # same plan -> same schedule
+        assert any(first) and not all(first)
+        other = FaultPlan(seed=12, specs=plan.specs)
+        assert first != [
+            v for v in _verdict_stream(other, 40)
+        ]  # seed participates in the draw
+
+    def test_delay_on_scheduled_calls_only(self):
+        spec = FaultSpec(seam="s", delay_s=0.02, delay_on_calls=(2,))
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        start = time.perf_counter()
+        injector.check("s")  # call 1: no delay
+        fast = time.perf_counter() - start
+        start = time.perf_counter()
+        injector.check("s")  # call 2: sleeps
+        slow = time.perf_counter() - start
+        assert fast < 0.01
+        assert slow >= 0.02
+
+    def test_kill_raises_worker_killed_in_process(self):
+        spec = FaultSpec(seam="s", kill=True, fail_on_calls=(1,))
+        injector = FaultInjector(FaultPlan(specs=(spec,)), in_worker=False)
+        with pytest.raises(WorkerKilled):
+            injector.check("s")
+
+    def test_custom_message(self):
+        spec = FaultSpec(seam="s", fail_on_calls=(1,), message="boom")
+        with pytest.raises(InjectedFault, match="boom"):
+            FaultInjector(FaultPlan(specs=(spec,))).check("s")
+
+
+def _verdict_stream(plan, n):
+    injector = FaultInjector(plan)
+    for _ in range(n):
+        try:
+            injector.check("s")
+            yield False
+        except InjectedFault:
+            yield True
+
+
+class TestScoping:
+    def test_fault_point_is_a_no_op_outside_use_faults(self):
+        assert get_injector() is None
+        fault_point("s")  # nothing active, nothing raised
+
+    def test_use_faults_scopes_and_restores(self):
+        plan = FaultPlan(specs=(FaultSpec(seam="s", fail_on_calls=(1,)),))
+        with use_faults(plan) as injector:
+            assert get_injector() is injector
+            with pytest.raises(InjectedFault):
+                fault_point("s")
+            fault_point("s")
+        assert get_injector() is None
+        fault_point("s")  # scope ended: seam is free again
+
+    def test_use_faults_nesting_restores_previous(self):
+        outer = FaultPlan(specs=(FaultSpec(seam="a", fail_on_calls=(1,)),))
+        inner = FaultPlan(specs=(FaultSpec(seam="b", fail_on_calls=(1,)),))
+        with use_faults(outer) as outer_injector:
+            with use_faults(inner):
+                fault_point("a")  # inner plan does not know seam "a"
+                with pytest.raises(InjectedFault):
+                    fault_point("b")
+            assert get_injector() is outer_injector
+            with pytest.raises(InjectedFault):
+                fault_point("a")
+
+    def test_use_faults_none_disables(self):
+        plan = FaultPlan(specs=(FaultSpec(seam="s", fail_on_calls=(1,)),))
+        with use_faults(plan):
+            with use_faults(None):
+                fault_point("s")  # explicitly disabled inside the scope
+            with pytest.raises(InjectedFault):
+                fault_point("s")

@@ -413,10 +413,38 @@ def test_flush_failure_does_not_poison_inflight(fitted, split):
     with pytest.raises(AttributeError):
         service.flush()
     service.predictor = broken
-    with pytest.raises(RuntimeError, match="resubmit"):
+    with pytest.raises(RuntimeError, match="resubmit") as excinfo:
         ticket.result()
+    # The ticket surfaces *why* the batch died, not just that it did.
+    assert isinstance(excinfo.value.__cause__, AttributeError)
     # The fingerprint is no longer in flight: a resubmit works normally.
     assert service.predict_one(test[0]).shape == (4,)
+
+
+def test_flush_failure_poisons_only_its_chunk(fitted, split):
+    from repro.faults import FaultPlan, FaultSpec, InjectedFault, use_faults
+
+    _, _, test = split
+    service = PredictionService(
+        fitted["off_the_shelf"], ServiceConfig(max_batch_size=2, cache_size=0)
+    )
+    tickets = [service.submit(g) for g in test[:3]]
+    # max_batch_size=2 auto-flushed the first chunk already (it
+    # succeeded); fail the *next* flush chunk and make sure the third
+    # request is the only casualty.
+    plan = FaultPlan(
+        specs=(FaultSpec(seam="serve.flush", fail_on_calls=(1,)),)
+    )
+    with use_faults(plan):
+        with pytest.raises(InjectedFault):
+            service.flush()
+    assert tickets[0].result().shape == (4,)
+    assert tickets[1].result().shape == (4,)
+    with pytest.raises(RuntimeError, match="resubmit") as excinfo:
+        tickets[2].result()
+    assert isinstance(excinfo.value.__cause__, InjectedFault)
+    # Poisoned entries left the in-flight table: resubmits re-evaluate.
+    assert service.predict_one(test[2]).shape == (4,)
 
 
 # ---------------------------------------------------------------------------
@@ -472,7 +500,10 @@ def test_cli_jsonl_loop(fitted, tmp_path, capsys, monkeypatch):
     assert lines[0]["cached"] is False
     assert lines[1]["cached"] is True
     assert lines[1]["prediction"] == lines[0]["prediction"]
-    assert "error" in lines[2]
+    # Per-line failures come back structured, and the loop keeps serving.
+    assert lines[2]["error"]["type"]
+    assert lines[2]["error"]["message"]
+    assert "prediction" not in lines[2]
 
 
 # ---------------------------------------------------------------------------
