@@ -62,6 +62,17 @@ GATES: dict[str, list[tuple[str, str, float]]] = {
         # (baseline 0 makes the bound exactly 0).
         ("stress.hung", "lower", 0.0),
     ],
+    "BENCH_train.json": [
+        # Checkpoint overhead is scheduling-noise-dominated on small
+        # hosts (the committed baseline comes from a single-core dev
+        # container); the strict <5% bar is asserted inside
+        # bench_checkpoint.py on hosts with >=4 CPUs. This gate only
+        # catches gross regressions (e.g. a snapshot every step).
+        ("overhead_frac", "lower", 0.05),
+        # Hard invariant: a killed-and-resumed run must finish with a
+        # bitwise-identical loss curve (1 = identical).
+        ("resume_identical", "higher", 0.0),
+    ],
     "BENCH_dataset.json": [
         # Parallel-vs-serial scales with runner cores (the committed
         # baseline may come from a small host); the warm-cache rebuild

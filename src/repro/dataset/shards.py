@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.dataset.io import pack_samples, unpack_samples
 from repro.graph.data import GraphData
+from repro.integrity import IntegrityError, digest_file, load_npz_verified
 
 #: Bump on any incompatible change to the manifest/shard layout.
 SHARD_SCHEMA_VERSION = 1
@@ -52,6 +53,10 @@ class ShardInfo:
     file: str
     start: int  # global index of the shard's first sample
     num_samples: int
+    #: Content digest of the shard file (``"sha256:<hex>"``), verified on
+    #: every read. Empty for shards written before digests existed —
+    #: those load unverified (schema unchanged, so old manifests parse).
+    digest: str = ""
 
 
 @dataclass
@@ -126,15 +131,33 @@ def write_shard(
     tmp = root / (name + ".tmp")
     with open(tmp, "wb") as handle:
         np.savez_compressed(handle, **pack_samples(samples))
+    # Hash before the rename: the digest lands in the manifest entry, so
+    # the (shard, manifest) pair is sealed together.
+    digest = digest_file(tmp)
     os.replace(tmp, root / name)
-    return ShardInfo(file=name, start=start, num_samples=len(samples))
+    return ShardInfo(
+        file=name, start=start, num_samples=len(samples), digest=digest
+    )
 
 
 def read_shard(root: str | Path, info: ShardInfo) -> list[GraphData]:
-    with np.load(Path(root) / info.file, allow_pickle=False) as archive:
-        samples = unpack_samples(archive)
+    """Decode one shard, digest-verified against its manifest entry.
+
+    Bytes pass through the ``io.read`` fault seam keyed by the shard
+    file name; corruption (real or injected) raises
+    :class:`repro.integrity.DigestMismatch` instead of yielding
+    plausible-but-wrong samples. Legacy entries without a digest load
+    unverified.
+    """
+    arrays = load_npz_verified(
+        Path(root) / info.file,
+        expected=info.digest or None,
+        label=f"shard {info.file}",
+        key=info.file,
+    )
+    samples = unpack_samples(arrays)
     if len(samples) != info.num_samples:
-        raise ValueError(
+        raise IntegrityError(
             f"shard {info.file} holds {len(samples)} samples, manifest "
             f"says {info.num_samples}"
         )

@@ -8,6 +8,7 @@ Examples::
     python -m repro.experiments ablations
     python -m repro.experiments dse
     python -m repro.experiments publish --registry model-registry
+    python -m repro.experiments train --checkpoint-dir ckpts [--resume]
     python -m repro.experiments all
 """
 
@@ -44,11 +45,12 @@ RUNNERS = {
     "dse": _run_dse,
     "report": _run_report,
     "publish": None,  # bound to the parsed --registry in main()
+    "train": None,  # bound to the parsed checkpoint flags in main()
 }
 
 #: Excluded from "all": verbs with side effects beyond printing, plus
 #: the DSE report (trains its own model; run it explicitly).
-_NOT_IN_ALL = ("report", "publish", "dse")
+_NOT_IN_ALL = ("report", "publish", "dse", "train")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,6 +72,22 @@ def main(argv: list[str] | None = None) -> int:
         help="registry root for 'publish' (default: $REPRO_REGISTRY or "
         "./model-registry)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default="checkpoints",
+        help="checkpoint directory for 'train' (default: ./checkpoints)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="'train': continue from the newest intact checkpoint",
+    )
+    parser.add_argument(
+        "--approach",
+        default="off_the_shelf",
+        choices=["off_the_shelf", "knowledge_rich", "hierarchical"],
+        help="'train': which predictor to fit",
+    )
     args = parser.parse_args(argv)
     seed_all(args.seed)
     scale = get_scale(args.scale)
@@ -79,7 +97,18 @@ def main(argv: list[str] | None = None) -> int:
 
         run_publish(scale, registry_root=args.registry, seed=args.seed)
 
-    runners = {**RUNNERS, "publish": _run_publish}
+    def _run_train(scale):
+        from repro.experiments.train import run_train
+
+        run_train(
+            scale,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            approach=args.approach,
+            seed=args.seed,
+        )
+
+    runners = {**RUNNERS, "publish": _run_publish, "train": _run_train}
     print(f"running {args.experiment} at scale '{scale.name}': {scale}")
     if args.experiment == "all":
         targets = [name for name in runners if name not in _NOT_IN_ALL]

@@ -19,12 +19,21 @@ function of the plan (never of wall-clock time or OS scheduling):
 - **worker kill** — ``kill=True`` turns a scheduled failure into
   simulated process death: ``os._exit`` inside a pool worker process
   (the driver sees a lost task, exactly like a SIGKILL), a
-  :class:`WorkerKilled` exception elsewhere.
+  :class:`WorkerKilled` exception elsewhere;
+- **byte corruption** — ``corrupt=True`` on a data-carrying seam
+  (``io.read``) flips one seeded byte of the buffer passing through
+  :func:`fault_data` instead of raising, so integrity checks can be
+  exercised deterministically without touching files on disk.
 
 Seams currently wired: ``serve.predict`` (the serving tier's model
-call), ``serve.flush`` (the micro-batcher's fused evaluation) and
+call), ``serve.flush`` (the micro-batcher's fused evaluation),
 ``pipeline.build`` (one dataset sample's compile→HLS→encode, keyed by
-sample index).
+sample index), ``train.step`` (the trainer's per-batch optimiser step —
+kill here to simulate dying mid-epoch), ``train.checkpoint`` (between a
+checkpoint's temp write and its atomic rename — kill here to simulate
+crashing mid-checkpoint, leaving a torn temp dir behind) and ``io.read``
+(every integrity-verified artifact read, keyed by file name — the only
+data-carrying seam, via :func:`fault_data`).
 
 Plans are plain dataclasses — picklable (they ride to pipeline pool
 workers inside the build spec) and JSON round-trippable (the CLI's
@@ -56,6 +65,7 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "WorkerKilled",
+    "fault_data",
     "fault_point",
     "get_injector",
     "load_fault_plan",
@@ -89,6 +99,10 @@ class FaultSpec:
     delay_on_calls: tuple[int, ...] = ()
     on_keys: tuple[str, ...] = ()
     kill: bool = False
+    #: Flip one seeded byte instead of raising — only meaningful on
+    #: data-carrying seams consulted via :func:`fault_data` (``io.read``);
+    #: check-only seams skip corrupt specs.
+    corrupt: bool = False
     message: str = ""
 
     def __post_init__(self) -> None:
@@ -98,6 +112,8 @@ class FaultSpec:
             raise ValueError(f"fail_rate must be in [0, 1], got {self.fail_rate}")
         if self.delay_s < 0:
             raise ValueError("delay_s must be >= 0")
+        if self.corrupt and self.kill:
+            raise ValueError("corrupt and kill are mutually exclusive")
         # JSON decodes sequences as lists; normalise so plans compare
         # and hash identically however they were built.
         for name in ("fail_on_calls", "delay_on_calls", "on_keys"):
@@ -177,31 +193,70 @@ class FaultInjector:
             return random.Random(digest).random() < spec.fail_rate
         return False
 
-    def check(self, seam: str, key: str = "") -> None:
-        """Run the seam's schedule for one call; raises when scheduled."""
-        specs = [
+    def _eligible(self, seam: str, key: str) -> tuple[FaultSpec, ...]:
+        return tuple(
             spec
             for spec in self.plan.for_seam(seam)
             if not spec.on_keys or key in spec.on_keys
-        ]
-        if not specs:
-            return
+        )
+
+    def _count_call(self, seam: str, key: str) -> int:
         with self._lock:
             call = self._calls.get((seam, key), 0) + 1
             self._calls[(seam, key)] = call
+        return call
+
+    def _fire(self, spec: FaultSpec, seam: str, key: str, call: int) -> None:
+        if spec.kill and self.in_worker:
+            os._exit(17)  # simulate SIGKILL: no cleanup, lost task
+        message = spec.message or (
+            f"injected fault at {seam!r}"
+            f"{f' key={key!r}' if key else ''} (call {call})"
+        )
+        raise (WorkerKilled if spec.kill else InjectedFault)(message)
+
+    def check(self, seam: str, key: str = "") -> None:
+        """Run the seam's schedule for one call; raises when scheduled."""
+        specs = self._eligible(seam, key)
+        if not specs:
+            return
+        call = self._count_call(seam, key)
+        for spec in specs:
+            if spec.delay_s > 0 and (
+                not spec.delay_on_calls or call in spec.delay_on_calls
+            ):
+                time.sleep(spec.delay_s)
+            if not spec.corrupt and self._should_fail(spec, key, call):
+                self._fire(spec, seam, key, call)
+
+    def filter(self, seam: str, key: str, data: bytes) -> bytes:
+        """Run the schedule for a data-carrying call; may corrupt bytes.
+
+        Same counting and verdict function as :meth:`check`; specs with
+        ``corrupt=True`` flip one byte at a position seeded by
+        ``(plan seed, seam, key, call)`` instead of raising, so the same
+        call always yields the same corrupted buffer.
+        """
+        specs = self._eligible(seam, key)
+        if not specs:
+            return data
+        call = self._count_call(seam, key)
         for spec in specs:
             if spec.delay_s > 0 and (
                 not spec.delay_on_calls or call in spec.delay_on_calls
             ):
                 time.sleep(spec.delay_s)
             if self._should_fail(spec, key, call):
-                if spec.kill and self.in_worker:
-                    os._exit(17)  # simulate SIGKILL: no cleanup, lost task
-                message = spec.message or (
-                    f"injected fault at {seam!r}"
-                    f"{f' key={key!r}' if key else ''} (call {call})"
-                )
-                raise (WorkerKilled if spec.kill else InjectedFault)(message)
+                if not spec.corrupt:
+                    self._fire(spec, seam, key, call)
+                elif data:
+                    seeded = random.Random(
+                        f"{self.plan.seed}:{seam}:{key}:{call}:corrupt"
+                    )
+                    buffer = bytearray(data)
+                    buffer[seeded.randrange(len(buffer))] ^= 0xFF
+                    data = bytes(buffer)
+        return data
 
 
 _INJECTOR: FaultInjector | None = None
@@ -240,3 +295,13 @@ def fault_point(seam: str, key: str = "") -> None:
     injector = _INJECTOR
     if injector is not None:
         injector.check(seam, key)
+
+
+def fault_data(seam: str, key: str, data: bytes) -> bytes:
+    """Data-carrying seam: bytes pass through untouched when faults are
+    off, and may be deterministically corrupted (or the call failed)
+    when a plan targets the seam."""
+    injector = _INJECTOR
+    if injector is not None:
+        return injector.filter(seam, key, data)
+    return data

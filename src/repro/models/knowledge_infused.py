@@ -16,6 +16,9 @@ Inference (zero overhead — nothing beyond the IR graph is needed):
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
+
 import numpy as np
 
 from repro.gnn.network import GraphRegressor, NodeClassifier
@@ -25,6 +28,7 @@ from repro.models.base import (
     apply_feature_view,
     attach_inferred_types,
 )
+from repro.training.checkpoint import CheckpointConfig
 from repro.training.metrics import mape
 from repro.training.trainer import (
     TrainResult,
@@ -65,9 +69,22 @@ class HierarchicalPredictor:
 
     # -- training --------------------------------------------------------
     def fit(
-        self, train_graphs: list[GraphData], val_graphs: list[GraphData]
+        self,
+        train_graphs: list[GraphData],
+        val_graphs: list[GraphData],
+        *,
+        checkpoint: CheckpointConfig | None = None,
+        resume: bool = False,
     ) -> tuple[TrainResult, TrainResult]:
         cfg = self.config
+        # Each stage checkpoints into its own subdirectory; resuming a run
+        # killed during stage 2 replays stage 1 from its final checkpoint
+        # (an instant restore — the epoch loop is already exhausted).
+        node_ckpt = graph_ckpt = None
+        if checkpoint is not None:
+            root = Path(checkpoint.dir)
+            node_ckpt = dataclasses.replace(checkpoint, dir=root / "node")
+            graph_ckpt = dataclasses.replace(checkpoint, dir=root / "graph")
         rng = np.random.default_rng(cfg.seed)
         self.node_model = NodeClassifier(
             self.node_model_name,
@@ -79,7 +96,12 @@ class HierarchicalPredictor:
             rng=rng,
         )
         node_result = train_node_classifier(
-            self.node_model, train_graphs, val_graphs, cfg.train
+            self.node_model,
+            train_graphs,
+            val_graphs,
+            cfg.train,
+            checkpoint=node_ckpt,
+            resume=resume,
         )
         if self.teacher_forcing:
             infused_train = apply_feature_view(train_graphs, "infused")
@@ -103,7 +125,12 @@ class HierarchicalPredictor:
             rng=rng,
         )
         graph_result = train_graph_regressor(
-            self.graph_model, infused_train, infused_val, cfg.train
+            self.graph_model,
+            infused_train,
+            infused_val,
+            cfg.train,
+            checkpoint=graph_ckpt,
+            resume=resume,
         )
         return node_result, graph_result
 

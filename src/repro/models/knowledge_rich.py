@@ -7,6 +7,7 @@ import numpy as np
 from repro.graph.data import GraphData
 from repro.models.base import PredictorConfig, apply_feature_view
 from repro.models.off_the_shelf import OffTheShelfPredictor
+from repro.training.checkpoint import CheckpointConfig
 from repro.training.trainer import TrainResult
 
 
@@ -24,11 +25,18 @@ class KnowledgeRichPredictor:
         self._inner = OffTheShelfPredictor(self.config)
 
     def fit(
-        self, train_graphs: list[GraphData], val_graphs: list[GraphData]
+        self,
+        train_graphs: list[GraphData],
+        val_graphs: list[GraphData],
+        *,
+        checkpoint: CheckpointConfig | None = None,
+        resume: bool = False,
     ) -> TrainResult:
         return self._inner.fit(
             apply_feature_view(train_graphs, "rich"),
             apply_feature_view(val_graphs, "rich"),
+            checkpoint=checkpoint,
+            resume=resume,
         )
 
     def predict(

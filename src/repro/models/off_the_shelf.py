@@ -7,6 +7,7 @@ import numpy as np
 from repro.gnn.network import GraphRegressor
 from repro.graph.data import GraphData
 from repro.models.base import PredictorConfig
+from repro.training.checkpoint import CheckpointConfig
 from repro.training.trainer import (
     TrainResult,
     evaluate_regressor,
@@ -45,11 +46,21 @@ class OffTheShelfPredictor:
         )
 
     def fit(
-        self, train_graphs: list[GraphData], val_graphs: list[GraphData]
+        self,
+        train_graphs: list[GraphData],
+        val_graphs: list[GraphData],
+        *,
+        checkpoint: CheckpointConfig | None = None,
+        resume: bool = False,
     ) -> TrainResult:
         self.model = self._build(train_graphs[0].feature_dim)
         return train_graph_regressor(
-            self.model, train_graphs, val_graphs, self.config.train
+            self.model,
+            train_graphs,
+            val_graphs,
+            self.config.train,
+            checkpoint=checkpoint,
+            resume=resume,
         )
 
     def predict(

@@ -52,6 +52,24 @@ class Module:
         for child in self.children():
             yield from child.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Every module in the tree with its attribute path (root: ``""``).
+
+        Paths follow the same attribute-scan order as
+        :meth:`named_parameters`, so they are stable across processes —
+        training checkpoints key per-module RNG state (dropout
+        generators) by these names.
+        """
+        yield prefix, self
+        for name, value in self.__dict__.items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Module):
+                yield from value.named_modules(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(f"{full}.{i}")
+
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
         for name, value in self.__dict__.items():
             full = f"{prefix}{name}"

@@ -48,3 +48,14 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {"step": np.asarray(self._step, dtype=np.int64)}
+        state.update(self._copy_buffers("m", self._m))
+        state.update(self._copy_buffers("v", self._v))
+        return state
+
+    def _load_state(self, state: dict[str, np.ndarray]) -> None:
+        self._step = int(state["step"])
+        self._restore_buffers("m", self._m, state)
+        self._restore_buffers("v", self._v, state)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.tensor import Tensor
 
 
@@ -22,3 +24,47 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- state -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``name -> array copy`` of the optimiser's mutable state.
+
+        Same contract as :meth:`repro.nn.module.Module.state_dict`:
+        ``load_state_dict(state_dict())`` is an exact no-op, every value
+        is ``.npz``-serialisable, and a round-trip through disk restores
+        the optimiser bitwise — stepping a restored optimiser produces
+        the same parameter updates as stepping the original. Stateless
+        optimisers return ``{}``.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        expected = self.state_dict()
+        missing = set(expected) - set(state)
+        unexpected = set(state) - set(expected)
+        if missing or unexpected:
+            raise KeyError(
+                f"optimizer state mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        self._load_state(state)
+
+    def _load_state(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            raise NotImplementedError
+
+    @staticmethod
+    def _copy_buffers(name: str, buffers: list[np.ndarray]) -> dict[str, np.ndarray]:
+        return {f"{name}.{i}": buffer.copy() for i, buffer in enumerate(buffers)}
+
+    @staticmethod
+    def _restore_buffers(
+        name: str, buffers: list[np.ndarray], state: dict[str, np.ndarray]
+    ) -> None:
+        for i, buffer in enumerate(buffers):
+            value = np.asarray(state[f"{name}.{i}"])
+            if buffer.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}.{i}: {buffer.shape} vs {value.shape}"
+                )
+            buffer[...] = value

@@ -35,3 +35,9 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             parameter.data -= self.lr * grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._copy_buffers("velocity", self._velocity)
+
+    def _load_state(self, state: dict[str, np.ndarray]) -> None:
+        self._restore_buffers("velocity", self._velocity, state)

@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.dataset.features import TARGET_NAMES
+from repro.integrity import IntegrityError, digest_file, load_npz_verified
 from repro.models.base import PredictorConfig
 from repro.models.knowledge_infused import HierarchicalPredictor
 from repro.models.knowledge_rich import KnowledgeRichPredictor
@@ -43,7 +45,14 @@ from repro.version import __version__
 #: (unroll/pipeline/clock — see repro.dataset.features.DIRECTIVE_DIM),
 #: so models published under v2 expect narrower request graphs than the
 #: encoder now produces and must be retrained.
-SCHEMA_VERSION = 3
+#: v4: manifests record ``weights_digest`` (sha256 of weights.npz) and
+#: loads verify it, so silent corruption of a published artifact is
+#: caught before the weights reach a server. v3 artifacts (no digest)
+#: still load, with a warning.
+SCHEMA_VERSION = 4
+
+#: Older schemas load_predictor still accepts (weights unverified).
+_LEGACY_SCHEMAS = {3}
 
 MANIFEST_NAME = "manifest.json"
 WEIGHTS_NAME = "weights.npz"
@@ -115,6 +124,10 @@ def save_predictor(
     manifest = build_manifest(predictor, extras=extras)
     state = predictor.state_dict()
     np.savez_compressed(path / WEIGHTS_NAME, **state)
+    # Digest the bytes actually on disk, after the archive is written:
+    # the manifest then seals the weights, and writing it last means a
+    # crash mid-save leaves a directory read_manifest refuses.
+    manifest["weights_digest"] = digest_file(path / WEIGHTS_NAME)
     (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
     return path
 
@@ -126,9 +139,10 @@ def read_manifest(path: str | Path) -> dict:
         raise ArtifactError(f"no {MANIFEST_NAME} in {path}")
     manifest = json.loads(manifest_path.read_text())
     version = manifest.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version != SCHEMA_VERSION and version not in _LEGACY_SCHEMAS:
+        supported = sorted(_LEGACY_SCHEMAS | {SCHEMA_VERSION})
         raise ArtifactError(
-            f"unsupported artifact schema {version!r} (supported: {SCHEMA_VERSION})"
+            f"unsupported artifact schema {version!r} (supported: {supported})"
         )
     if manifest.get("kind") not in _KINDS:
         raise ArtifactError(f"unknown predictor kind {manifest.get('kind')!r}")
@@ -140,7 +154,11 @@ def load_predictor(path: str | Path) -> Predictor:
 
     The returned predictor produces bitwise-identical predictions to the
     instance that was saved (weights are restored exactly; the network
-    skeleton is rebuilt from the manifest config and input widths).
+    skeleton is rebuilt from the manifest config and input widths). The
+    weight archive's sha256 is checked against the manifest's
+    ``weights_digest`` before any array is deserialised; a mismatch
+    raises :class:`repro.integrity.DigestMismatch`. Legacy (v3)
+    artifacts carry no digest and load with a warning.
     """
     path = Path(path)
     manifest = read_manifest(path)
@@ -158,7 +176,20 @@ def load_predictor(path: str | Path) -> Predictor:
     weights_path = path / WEIGHTS_NAME
     if not weights_path.is_file():
         raise ArtifactError(f"no {WEIGHTS_NAME} in {path}")
-    with np.load(weights_path, allow_pickle=False) as archive:
-        state = {name: archive[name] for name in archive.files}
+    expected = manifest.get("weights_digest")
+    if expected is None:
+        warnings.warn(
+            f"artifact {path} predates weight digests "
+            f"(schema {manifest.get('schema_version')}); loading unverified",
+            stacklevel=2,
+        )
+    try:
+        state = load_npz_verified(
+            weights_path, expected=expected, label=f"artifact {path}"
+        )
+    except IntegrityError:
+        raise
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"unreadable {WEIGHTS_NAME} in {path}: {exc}") from exc
     predictor.load_state_dict(state)
     return predictor

@@ -108,7 +108,13 @@ class ModelRegistry:
         return path
 
     def load(self, name: str, version: int | str = LATEST) -> Predictor:
-        """Resolve and rebuild a published predictor."""
+        """Resolve and rebuild a published predictor.
+
+        Weights are digest-verified against the manifest
+        (:mod:`repro.integrity`): a corrupt artifact raises before any
+        parameter reaches a consumer, so servers can refuse a bad
+        candidate instead of hot-swapping it in.
+        """
         return load_predictor(self.resolve(name, version))
 
     def list_models(self) -> list[ModelRecord]:

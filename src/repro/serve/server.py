@@ -58,6 +58,7 @@ finish on the old weights, later batches use the new ones.
 
 from __future__ import annotations
 
+import logging
 import random
 import threading
 import time
@@ -95,6 +96,9 @@ __all__ = [
     "ServerStats",
     "ServerTicket",
 ]
+
+
+LOG = logging.getLogger("repro.serve.server")
 
 
 class ServeError(RuntimeError):
@@ -181,6 +185,7 @@ _SERVER_FIELDS = (
     "model_failures",
     "breaker_opens",
     "hot_reloads",
+    "reload_skipped",
 )
 
 
@@ -555,7 +560,10 @@ class PredictionServer:
 
         Bumps the generation token; each worker re-resolves its predictor
         before its next batch. In-flight batches finish on the old
-        weights. Returns the new generation.
+        weights. A candidate that fails its integrity check (corrupt
+        weights, torn manifest) is skipped — the worker keeps its
+        current model and counts ``serve.reload_skipped``. Returns the
+        new generation.
         """
         with self._cond:
             self._generation += 1
@@ -622,8 +630,20 @@ class PredictionServer:
             if state.generation != self._generation:
                 with self._cond:
                     generation = self._generation
-                service, version = self._make_service()
-                state = _WorkerState(service, version, generation)
+                try:
+                    service, version = self._make_service()
+                except (ValueError, OSError) as exc:
+                    # Corrupt or missing reload candidate (IntegrityError,
+                    # ArtifactError, RegistryError are all ValueErrors):
+                    # keep serving the current model, count the skip, and
+                    # don't retry until the next reload() bump.
+                    LOG.warning(
+                        "hot reload skipped on worker %d: %s", slot, exc
+                    )
+                    self._count["reload_skipped"].inc()
+                    state.generation = generation
+                else:
+                    state = _WorkerState(service, version, generation)
             self._process_batch(state, batch)
 
     def _collect_batch(self) -> list[_ServerRequest] | None:

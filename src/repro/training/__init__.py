@@ -1,5 +1,12 @@
-"""Training loops, losses and metrics."""
+"""Training loops, losses, metrics and crash-safe checkpoints."""
 
+from repro.training.checkpoint import (
+    CheckpointConfig,
+    CheckpointManager,
+    TrainerState,
+    TrainingInterrupted,
+    load_checkpoint,
+)
 from repro.training.losses import bce_with_logits, huber_loss, mse_loss
 from repro.training.metrics import binary_accuracy, mape
 from repro.training.trainer import (
@@ -15,8 +22,13 @@ __all__ = [
     "mse_loss",
     "binary_accuracy",
     "mape",
+    "CheckpointConfig",
+    "CheckpointManager",
     "TrainConfig",
     "TrainResult",
+    "TrainerState",
+    "TrainingInterrupted",
+    "load_checkpoint",
     "train_graph_regressor",
     "train_node_classifier",
 ]

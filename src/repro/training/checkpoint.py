@@ -1,0 +1,461 @@
+"""Crash-safe, atomic, content-verified training checkpoints.
+
+A checkpoint is a complete snapshot of training state — enough to kill a
+run at *any* optimiser step and later continue it so the finished loss
+curve is bitwise-identical to an uninterrupted run (the same determinism
+bar the dataset pipeline set in PR 5):
+
+- model parameters and the best-validation parameters seen so far;
+- optimiser state (:meth:`repro.optim.Optimizer.state_dict` — Adam
+  moments + step count, SGD velocities);
+- RNG state: the trainer's schedule :class:`numpy.random.Generator` and
+  every module-owned generator (dropout), keyed by
+  :meth:`~repro.nn.module.Module.named_modules` paths;
+- loop position: epoch, the :class:`~repro.training.trainer.BatchStream`
+  schedule index within it, the global step count, and the partial
+  epoch-loss accumulators;
+- bookkeeping: metric history, best epoch/metric, early-stopping stall
+  counter, and the :class:`~repro.training.trainer.TrainConfig` fields
+  that determine the trajectory (resume refuses a mismatched config).
+
+Layout (one directory per checkpoint under ``CheckpointConfig.dir``)::
+
+    <dir>/ckpt-00000042/        # 42 = global optimiser steps completed
+        state.npz               # model/optim/best arrays
+        meta.json               # counters, history, RNG states, digest
+
+Writes are atomic: everything lands in a ``.tmp-*`` sibling first and is
+renamed into place only after ``meta.json`` — which records the
+``state.npz`` content digest (:mod:`repro.integrity`) — is on disk. A
+crash mid-write leaves a torn temp directory that readers ignore. Loads
+verify the digest and a corrupt or truncated checkpoint raises a typed
+:class:`~repro.integrity.IntegrityError`; the resume resolver
+skips-and-warns back to the newest intact snapshot.
+
+Retention keeps the newest ``keep_last`` checkpoints plus (with
+``keep_best``) the one whose own epoch scored the best validation
+metric. The ``train.checkpoint`` fault seam sits between the temp write
+and the rename so chaos tests can kill a run mid-checkpoint.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import re
+import shutil
+import signal
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults import WorkerKilled, fault_point
+from repro.integrity import IntegrityError, digest_file, load_npz_verified, read_bytes
+from repro.obs import active_ledger, get_registry, trace
+
+__all__ = [
+    "CKPT_SCHEMA_VERSION",
+    "CheckpointConfig",
+    "CheckpointManager",
+    "TrainerState",
+    "TrainingInterrupted",
+    "flush_signals",
+    "load_checkpoint",
+    "module_rng_states",
+    "restore_module_rngs",
+]
+
+#: Bump on any incompatible change to the checkpoint layout.
+CKPT_SCHEMA_VERSION = 1
+
+STATE_NAME = "state.npz"
+META_NAME = "meta.json"
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})$")
+
+#: TrainConfig fields that determine the training trajectory; resume
+#: refuses a checkpoint whose recorded values differ (log_every /
+#: verbose / patience only shape output and stopping, not the curve
+#: up to the stop point — patience is restored via the stall counter).
+_TRAJECTORY_FIELDS = ("epochs", "batch_size", "lr", "weight_decay", "grad_clip", "seed")
+
+LOG = logging.getLogger("repro.training.checkpoint")
+
+
+class TrainingInterrupted(RuntimeError):
+    """Training stopped on SIGTERM/SIGINT after flushing a checkpoint.
+
+    ``checkpoint`` is the flushed snapshot's path; rerun the same fit
+    with ``resume=True`` (or ``resume=checkpoint``) to continue.
+    """
+
+    def __init__(self, message: str, checkpoint: Path | None = None):
+        super().__init__(message)
+        self.checkpoint = checkpoint
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where, how often and how many checkpoints to keep."""
+
+    dir: str | Path
+    #: Write a checkpoint every K completed epochs (and mid-epoch on
+    #: SIGTERM/SIGINT when ``on_signal``).
+    every_epochs: int = 1
+    #: Newest snapshots retained; older ones are deleted after each save.
+    keep_last: int = 3
+    #: Additionally retain the snapshot with the best validation metric.
+    keep_best: bool = True
+    #: Install SIGTERM/SIGINT handlers that flush a final checkpoint and
+    #: raise :class:`TrainingInterrupted` (main thread only).
+    on_signal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.every_epochs < 1:
+            raise ValueError("every_epochs must be >= 1")
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+
+
+@dataclass
+class TrainerState:
+    """Everything :func:`repro.training.trainer._fit` needs to continue.
+
+    ``epoch`` is the epoch in progress (1-based) and ``batch_index`` the
+    next schedule position within it — ``batch_index == 0`` means the
+    epoch has not started (the usual epoch-boundary checkpoint).
+    """
+
+    epoch: int
+    batch_index: int
+    step: int
+    epoch_loss: float
+    epoch_weight: float
+    history: list[dict]
+    best_epoch: int
+    best_metric: float
+    stall: int
+    metric_name: str
+    maximize: bool
+    num_graphs: int
+    train_config: dict
+    rng_state: dict
+    module_rngs: dict[str, dict]
+    model_state: dict[str, np.ndarray] = field(repr=False)
+    optim_state: dict[str, np.ndarray] = field(repr=False)
+    best_state: dict[str, np.ndarray] = field(repr=False)
+
+    @property
+    def val_metric(self) -> float | None:
+        """The last *completed* epoch's validation metric (retention key)."""
+        if not self.history:
+            return None
+        return float(self.history[-1][self.metric_name])
+
+
+def module_rng_states(model) -> dict[str, dict]:
+    """Snapshot every module-owned generator (dropout) by module path."""
+    states = {}
+    for name, module in model.named_modules():
+        rng = getattr(module, "rng", None)
+        if isinstance(rng, np.random.Generator):
+            states[name] = rng.bit_generator.state
+    return states
+
+
+def restore_module_rngs(model, states: dict[str, dict]) -> None:
+    """Restore generators captured by :func:`module_rng_states` (strict)."""
+    own = {
+        name: module
+        for name, module in model.named_modules()
+        if isinstance(getattr(module, "rng", None), np.random.Generator)
+    }
+    if set(own) != set(states):
+        raise ValueError(
+            f"module RNG mismatch: checkpoint has {sorted(states)}, "
+            f"model has {sorted(own)}"
+        )
+    for name, state in states.items():
+        own[name].rng.bit_generator.state = state
+
+
+def checkpoint_name(step: int) -> str:
+    return f"ckpt-{step:08d}"
+
+
+def _pack_arrays(state: TrainerState) -> dict[str, np.ndarray]:
+    packed = {}
+    for group, arrays in (
+        ("model", state.model_state),
+        ("optim", state.optim_state),
+        ("best", state.best_state),
+    ):
+        for name, value in arrays.items():
+            packed[f"{group}/{name}"] = value
+    return packed
+
+
+def _unpack_arrays(arrays: dict[str, np.ndarray]) -> dict[str, dict[str, np.ndarray]]:
+    groups: dict[str, dict[str, np.ndarray]] = {"model": {}, "optim": {}, "best": {}}
+    for key, value in arrays.items():
+        group, _, name = key.partition("/")
+        if group not in groups or not name:
+            raise IntegrityError(f"unexpected checkpoint array key {key!r}")
+        groups[group][name] = value
+    return groups
+
+
+def load_checkpoint(path: str | Path) -> TrainerState:
+    """Read and integrity-check one checkpoint directory.
+
+    Raises :class:`~repro.integrity.IntegrityError` on a torn, truncated
+    or bit-flipped snapshot (both files route through the ``io.read``
+    fault seam, so chaos tests can corrupt them deterministically).
+    """
+    path = Path(path)
+    meta_path = path / META_NAME
+    if not meta_path.is_file():
+        raise IntegrityError(f"{path}: not a checkpoint (no {META_NAME})")
+    try:
+        meta = json.loads(read_bytes(meta_path).decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise IntegrityError(f"{path}: unreadable {META_NAME}: {exc}") from exc
+    version = meta.get("schema_version")
+    if version != CKPT_SCHEMA_VERSION:
+        raise IntegrityError(
+            f"{path}: unsupported checkpoint schema {version!r} "
+            f"(supported: {CKPT_SCHEMA_VERSION})"
+        )
+    digest = meta.get("state_digest")
+    if not digest:
+        raise IntegrityError(f"{path}: {META_NAME} records no state digest")
+    arrays = load_npz_verified(
+        path / STATE_NAME, expected=digest, label=f"checkpoint {path.name}"
+    )
+    groups = _unpack_arrays(arrays)
+    return TrainerState(
+        epoch=int(meta["epoch"]),
+        batch_index=int(meta["batch_index"]),
+        step=int(meta["step"]),
+        epoch_loss=float(meta["epoch_loss"]),
+        epoch_weight=float(meta["epoch_weight"]),
+        history=list(meta["history"]),
+        best_epoch=int(meta["best_epoch"]),
+        best_metric=float(meta["best_metric"]),
+        stall=int(meta["stall"]),
+        metric_name=str(meta["metric_name"]),
+        maximize=bool(meta["maximize"]),
+        num_graphs=int(meta["num_graphs"]),
+        train_config=dict(meta["train_config"]),
+        rng_state=meta["rng_state"],
+        module_rngs=dict(meta.get("module_rngs", {})),
+        model_state=groups["model"],
+        optim_state=groups["optim"],
+        best_state=groups["best"],
+    )
+
+
+class CheckpointManager:
+    """Atomic save / verified load / retention over one checkpoint dir."""
+
+    def __init__(self, config: CheckpointConfig):
+        self.config = config
+        self.dir = Path(config.dir)
+
+    # -- listing ---------------------------------------------------------
+    def checkpoints(self) -> list[Path]:
+        """Checkpoint directories sorted by step (torn ``.tmp-*`` ignored)."""
+        if not self.dir.is_dir():
+            return []
+        found = []
+        for entry in self.dir.iterdir():
+            match = _CKPT_RE.match(entry.name)
+            if match and entry.is_dir():
+                found.append((int(match.group(1)), entry))
+        return [path for _, path in sorted(found)]
+
+    def latest(self) -> Path | None:
+        paths = self.checkpoints()
+        return paths[-1] if paths else None
+
+    # -- write -----------------------------------------------------------
+    def save(self, state: TrainerState) -> Path:
+        """Write one snapshot atomically; returns its final path.
+
+        The ``train.checkpoint`` fault seam fires between the temp write
+        and the rename: a kill there leaves only a torn ``.tmp-*``
+        directory (exactly like a real crash), which every reader
+        ignores. Non-kill injected failures clean their temp dir up.
+        """
+        registry = get_registry()
+        started = time.perf_counter()
+        name = checkpoint_name(state.step)
+        final = self.dir / name
+        tmp = self.dir / f".tmp-{name}"
+        with trace("train.checkpoint"):
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            tmp.mkdir(parents=True)
+            try:
+                np.savez_compressed(tmp / STATE_NAME, **_pack_arrays(state))
+                meta = {
+                    "schema_version": CKPT_SCHEMA_VERSION,
+                    "epoch": state.epoch,
+                    "batch_index": state.batch_index,
+                    "step": state.step,
+                    "epoch_loss": state.epoch_loss,
+                    "epoch_weight": state.epoch_weight,
+                    "history": state.history,
+                    "best_epoch": state.best_epoch,
+                    "best_metric": state.best_metric,
+                    "stall": state.stall,
+                    "metric_name": state.metric_name,
+                    "maximize": state.maximize,
+                    "num_graphs": state.num_graphs,
+                    "train_config": state.train_config,
+                    "rng_state": state.rng_state,
+                    "module_rngs": state.module_rngs,
+                    "val_metric": state.val_metric,
+                    "state_digest": digest_file(tmp / STATE_NAME),
+                }
+                (tmp / META_NAME).write_text(json.dumps(meta, indent=2))
+                fault_point("train.checkpoint", key=str(state.step))
+                if final.exists():
+                    shutil.rmtree(final)
+                os.replace(tmp, final)
+            except WorkerKilled:
+                # Simulated SIGKILL: leave the torn temp dir behind,
+                # exactly what a real crash mid-checkpoint produces.
+                raise
+            except BaseException:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
+        elapsed = time.perf_counter() - started
+        registry.inc("train.checkpoints")
+        registry.observe("train.checkpoint_s", elapsed)
+        ledger = active_ledger()
+        if ledger is not None:
+            ledger.record(
+                "checkpoint",
+                path=str(final),
+                step=state.step,
+                epoch=state.epoch,
+                batch_index=state.batch_index,
+                seconds=elapsed,
+            )
+        self._retain()
+        return final
+
+    def _retain(self) -> None:
+        paths = self.checkpoints()
+        if len(paths) <= self.config.keep_last:
+            return
+        keep = set(paths[-self.config.keep_last :])
+        if self.config.keep_best:
+            best_path, best_signed = None, np.inf
+            for path in paths:
+                metric = self._retention_metric(path)
+                if metric is not None and metric < best_signed:
+                    best_path, best_signed = path, metric
+            if best_path is not None:
+                keep.add(best_path)
+        for path in paths:
+            if path not in keep:
+                shutil.rmtree(path, ignore_errors=True)
+
+    @staticmethod
+    def _retention_metric(path: Path) -> float | None:
+        """Signed (lower-is-better) retention key from a checkpoint's meta."""
+        try:
+            meta = json.loads((path / META_NAME).read_text())
+        except (OSError, ValueError):
+            return None
+        metric = meta.get("val_metric")
+        if metric is None:
+            return None
+        return -float(metric) if meta.get("maximize") else float(metric)
+
+    # -- resume ----------------------------------------------------------
+    def resolve(self, resume) -> TrainerState | None:
+        """The state to continue from, honouring ``resume`` semantics.
+
+        - a path: load exactly that checkpoint (corruption raises);
+        - ``True``: newest intact checkpoint in the directory, skipping
+          corrupt ones with a warning (``train.checkpoints_skipped``);
+          no checkpoints at all -> ``None`` (fresh start), all corrupt
+          -> :class:`~repro.integrity.IntegrityError`.
+        """
+        if isinstance(resume, (str, Path)):
+            return load_checkpoint(resume)
+        paths = self.checkpoints()
+        for path in reversed(paths):
+            try:
+                return load_checkpoint(path)
+            except IntegrityError as exc:
+                LOG.warning("skipping corrupt checkpoint %s: %s", path.name, exc)
+                get_registry().inc("train.checkpoints_skipped")
+        if paths:
+            raise IntegrityError(
+                f"all {len(paths)} checkpoints under {self.dir} are corrupt"
+            )
+        return None
+
+
+def config_dict(config) -> dict:
+    """The trajectory-relevant view of a TrainConfig for the manifest."""
+    full = asdict(config)
+    return {name: full[name] for name in _TRAJECTORY_FIELDS}
+
+
+def check_config(saved: dict, current: dict, num_graphs: int, saved_graphs: int) -> None:
+    """Refuse resuming under a config that would diverge the trajectory."""
+    mismatched = {
+        name: (saved.get(name), current[name])
+        for name in _TRAJECTORY_FIELDS
+        if saved.get(name) != current[name]
+    }
+    if mismatched:
+        raise ValueError(
+            "checkpoint was written under a different training config: "
+            + ", ".join(
+                f"{name}={was!r} (now {now!r})"
+                for name, (was, now) in sorted(mismatched.items())
+            )
+        )
+    if saved_graphs != num_graphs:
+        raise ValueError(
+            f"checkpoint covers {saved_graphs} training samples, the "
+            f"current dataset has {num_graphs} — resume needs the same data"
+        )
+
+
+@contextlib.contextmanager
+def flush_signals(enabled: bool = True):
+    """Request-stop flag set by SIGTERM/SIGINT while training.
+
+    Yields a :class:`threading.Event`; the epoch loop checks it after
+    every optimiser step, flushes a mid-epoch checkpoint and raises
+    :class:`TrainingInterrupted`. Handlers are installed only in the
+    main thread (``signal.signal`` refuses elsewhere — worker-thread
+    fits simply skip flush-on-signal) and always restored on exit.
+    """
+    flag = threading.Event()
+    previous: dict[int, object] = {}
+    if enabled:
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(
+                    signum, lambda *_args: flag.set()
+                )
+        except ValueError:  # not the main thread
+            previous.clear()
+    try:
+        yield flag
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -22,6 +22,15 @@ goes through :class:`BatchStream`, which draws one batch schedule
 
 Validation batches are always prebuilt and reused across epochs (the
 validation set is small; context reuse there dominates).
+
+Training is crash-safe when a :class:`~repro.training.checkpoint.
+CheckpointConfig` is passed: atomic, digest-verified snapshots of the
+full training state land every K epochs (and mid-epoch on
+SIGTERM/SIGINT), and ``resume=True`` continues a killed run so the
+finished loss curve is bitwise-identical to an uninterrupted one — see
+:mod:`repro.training.checkpoint`. The ``train.step`` fault seam fires
+once per optimiser step so chaos tests can kill training mid-epoch
+deterministically.
 """
 
 from __future__ import annotations
@@ -29,16 +38,30 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.gnn.network import GraphRegressor, NodeClassifier
 from repro.graph.batch import Batch, batch_schedule
 from repro.graph.data import GraphData
 from repro.obs import active_ledger, get_registry
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, get_default_dtype, no_grad
+from repro.training.checkpoint import (
+    CheckpointConfig,
+    CheckpointManager,
+    TrainerState,
+    TrainingInterrupted,
+    check_config,
+    config_dict,
+    flush_signals,
+    load_checkpoint,
+    module_rng_states,
+    restore_module_rngs,
+)
 from repro.training.losses import bce_with_logits, mse_loss
 from repro.training.metrics import binary_accuracy, mape
 
@@ -114,6 +137,17 @@ class BatchStream:
         else:
             for chunk in self.schedule:
                 yield self._build(chunk)
+
+    def batch_at(self, index: int) -> Batch:
+        """The batch at one schedule position (prebuilt when in-memory).
+
+        Index-addressed access is what makes mid-epoch checkpoint resume
+        possible: a restored run re-enters the replayed schedule at the
+        exact position the interrupted run stopped at.
+        """
+        if self._prebuilt is not None:
+            return self._prebuilt[index]
+        return self._build(self.schedule[index])
 
     def materialized(self) -> list[Batch]:
         """The stream as a reusable batch list (prebuilt where possible)."""
@@ -223,6 +257,8 @@ def _fit(
     validate: Callable[[Sequence[Batch]], float],
     metric_name: str,
     maximize: bool,
+    checkpoint: CheckpointConfig | None = None,
+    resume: bool | str | Path = False,
 ) -> TrainResult:
     """Shared epoch loop behind both task trainers.
 
@@ -232,78 +268,188 @@ def _fit(
     :class:`~repro.obs.RunLedger` is active — as one ``epoch`` ledger
     record. The loop itself replays the exact op order of the previous
     per-task loops, so loss curves stay bitwise identical.
+
+    With ``checkpoint`` set, the loop snapshots the complete training
+    state (:class:`~repro.training.checkpoint.TrainerState`) every
+    ``every_epochs`` completed epochs, at the final epoch, and mid-epoch
+    when SIGTERM/SIGINT arrives (then raises
+    :class:`~repro.training.checkpoint.TrainingInterrupted`). ``resume``
+    restores such a snapshot and continues — checkpointed, interrupted
+    and resumed runs all produce bitwise-identical loss curves.
     """
     rng = np.random.default_rng(config.seed)
     stream = BatchStream(train_graphs, config.batch_size, rng)
     val_batches = BatchStream(val_graphs, 64).materialized()
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
     sign = -1.0 if maximize else 1.0  # best = lowest signed metric
-    best = (0, -np.inf if maximize else np.inf, model.state_dict())
-    history = []
-    stall = 0
     registry = get_registry()
-    for epoch in range(1, config.epochs + 1):
-        epoch_start = time.perf_counter()
-        epoch_loss = 0.0
-        epoch_weight = 0
-        build_s = forward_s = backward_s = 0.0
-        batches = iter(stream)
-        while True:
-            mark = time.perf_counter()
-            batch = next(batches, None)
-            build_s += time.perf_counter() - mark
-            if batch is None:
-                break
-            optimizer.zero_grad()
-            mark = time.perf_counter()
-            loss = batch_loss(batch)
-            forward_s += time.perf_counter() - mark
-            mark = time.perf_counter()
-            loss.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            backward_s += time.perf_counter() - mark
-            weight = batch_weight(batch)
-            epoch_loss += float(loss.data) * weight
-            epoch_weight += weight
-        epoch_loss /= epoch_weight
-        val_metric = validate(val_batches)
-        epoch_s = time.perf_counter() - epoch_start
-        samples_per_s = stream.num_graphs / epoch_s if epoch_s > 0 else float("inf")
 
-        registry.observe("train.epoch_s", epoch_s)
-        registry.set_gauge("train.loss", epoch_loss)
-        registry.set_gauge(f"train.{metric_name}", val_metric)
-        registry.set_gauge("train.samples_per_s", samples_per_s)
-        registry.inc("train.epochs")
-        registry.inc("train.samples", stream.num_graphs)
-        record = {
-            "epoch": epoch,
-            "loss": epoch_loss,
-            metric_name: val_metric,
-            "samples_per_s": round(samples_per_s, 1),
-            "batch_build_s": build_s,
-            "forward_s": forward_s,
-            "backward_s": backward_s,
-        }
+    manager = CheckpointManager(checkpoint) if checkpoint is not None else None
+    state = None
+    if resume:
+        if isinstance(resume, (str, Path)):
+            state = load_checkpoint(resume)
+        elif manager is not None:
+            state = manager.resolve(True)
+        else:
+            raise ValueError(
+                "resume=True needs a CheckpointConfig (or pass the "
+                "checkpoint path directly)"
+            )
+    if state is not None:
+        if state.metric_name != metric_name or state.maximize != maximize:
+            raise ValueError(
+                f"checkpoint belongs to a different task "
+                f"({state.metric_name!r}, not {metric_name!r})"
+            )
+        check_config(
+            state.train_config, config_dict(config), stream.num_graphs, state.num_graphs
+        )
+        model.load_state_dict(state.model_state)
+        optimizer.load_state_dict(state.optim_state)
+        rng.bit_generator.state = state.rng_state
+        restore_module_rngs(model, state.module_rngs)
+        best = (state.best_epoch, state.best_metric, state.best_state)
+        history = list(state.history)
+        stall = state.stall
+        start_epoch, start_batch = state.epoch, state.batch_index
+        global_step = state.step
+        resumed_loss, resumed_weight = state.epoch_loss, state.epoch_weight
+        registry.inc("train.resumes")
         ledger = active_ledger()
         if ledger is not None:
-            ledger.record("epoch", record)
-        history.append({"epoch": epoch, "loss": epoch_loss, metric_name: val_metric})
-        if config.verbose and config.log_every and epoch % config.log_every == 0:
-            LOG.info(
-                "epoch %3d  loss %.4f  %s %.4f  (%.0f samples/s)",
-                epoch,
-                epoch_loss,
-                metric_name,
-                val_metric,
-                samples_per_s,
+            ledger.record(
+                "resume", epoch=state.epoch, batch_index=state.batch_index,
+                step=state.step,
             )
-        if sign * val_metric < sign * best[1]:
-            best = (epoch, val_metric, model.state_dict())
-            stall = 0
-        else:
-            stall += 1
+        LOG.info(
+            "resuming at epoch %d (batch %d, step %d)",
+            state.epoch, state.batch_index, state.step,
+        )
+    else:
+        best = (0, -np.inf if maximize else np.inf, model.state_dict())
+        history = []
+        stall = 0
+        start_epoch, start_batch = 1, 0
+        global_step = 0
+        resumed_loss, resumed_weight = 0.0, 0.0
+
+    def snapshot(epoch: int, batch_index: int, loss_sum: float, weight_sum: float):
+        return TrainerState(
+            epoch=epoch,
+            batch_index=batch_index,
+            step=global_step,
+            epoch_loss=loss_sum,
+            epoch_weight=weight_sum,
+            history=list(history),
+            best_epoch=best[0],
+            best_metric=best[1],
+            stall=stall,
+            metric_name=metric_name,
+            maximize=maximize,
+            num_graphs=stream.num_graphs,
+            train_config=config_dict(config),
+            rng_state=rng.bit_generator.state,
+            module_rngs=module_rng_states(model),
+            model_state=model.state_dict(),
+            optim_state=optimizer.state_dict(),
+            best_state=best[2],
+        )
+
+    with flush_signals(manager is not None and checkpoint.on_signal) as stop_flag:
+        for epoch in range(start_epoch, config.epochs + 1):
+            epoch_start = time.perf_counter()
+            if epoch == start_epoch and start_batch:
+                # Mid-epoch resume: continue the interrupted epoch's
+                # partial loss sums at the exact schedule position.
+                first_batch = start_batch
+                epoch_loss, epoch_weight = resumed_loss, resumed_weight
+            else:
+                first_batch = 0
+                epoch_loss, epoch_weight = 0.0, 0.0
+            build_s = forward_s = backward_s = 0.0
+            for batch_index in range(first_batch, len(stream)):
+                mark = time.perf_counter()
+                batch = stream.batch_at(batch_index)
+                build_s += time.perf_counter() - mark
+                fault_point("train.step")
+                optimizer.zero_grad()
+                mark = time.perf_counter()
+                loss = batch_loss(batch)
+                forward_s += time.perf_counter() - mark
+                mark = time.perf_counter()
+                loss.backward()
+                clip_grad_norm(model.parameters(), config.grad_clip)
+                optimizer.step()
+                backward_s += time.perf_counter() - mark
+                global_step += 1
+                weight = batch_weight(batch)
+                epoch_loss += float(loss.data) * weight
+                epoch_weight += weight
+                if stop_flag.is_set():
+                    path = manager.save(
+                        snapshot(epoch, batch_index + 1, epoch_loss, epoch_weight)
+                    )
+                    raise TrainingInterrupted(
+                        f"training interrupted mid-epoch {epoch}; "
+                        f"checkpoint flushed to {path}",
+                        checkpoint=path,
+                    )
+            epoch_loss /= epoch_weight
+            val_metric = validate(val_batches)
+            epoch_s = time.perf_counter() - epoch_start
+            samples_per_s = stream.num_graphs / epoch_s if epoch_s > 0 else float("inf")
+
+            registry.observe("train.epoch_s", epoch_s)
+            registry.set_gauge("train.loss", epoch_loss)
+            registry.set_gauge(f"train.{metric_name}", val_metric)
+            registry.set_gauge("train.samples_per_s", samples_per_s)
+            registry.inc("train.epochs")
+            registry.inc("train.samples", stream.num_graphs)
+            record = {
+                "epoch": epoch,
+                "loss": epoch_loss,
+                metric_name: val_metric,
+                "samples_per_s": round(samples_per_s, 1),
+                "batch_build_s": build_s,
+                "forward_s": forward_s,
+                "backward_s": backward_s,
+            }
+            ledger = active_ledger()
+            if ledger is not None:
+                ledger.record("epoch", record)
+            history.append(
+                {"epoch": epoch, "loss": epoch_loss, metric_name: val_metric}
+            )
+            if config.verbose and config.log_every and epoch % config.log_every == 0:
+                LOG.info(
+                    "epoch %3d  loss %.4f  %s %.4f  (%.0f samples/s)",
+                    epoch,
+                    epoch_loss,
+                    metric_name,
+                    val_metric,
+                    samples_per_s,
+                )
+            if sign * val_metric < sign * best[1]:
+                best = (epoch, val_metric, model.state_dict())
+                stall = 0
+            else:
+                stall += 1
+            # Epoch-boundary checkpoint: stored position is the *next*
+            # (epoch, batch) so resume continues where this run left off.
+            flushed = None
+            if manager is not None and (
+                epoch % checkpoint.every_epochs == 0 or epoch == config.epochs
+            ):
+                flushed = manager.save(snapshot(epoch + 1, 0, 0.0, 0.0))
+            if stop_flag.is_set():
+                if flushed is None:
+                    flushed = manager.save(snapshot(epoch + 1, 0, 0.0, 0.0))
+                raise TrainingInterrupted(
+                    f"training interrupted after epoch {epoch}; "
+                    f"checkpoint flushed to {flushed}",
+                    checkpoint=flushed,
+                )
             if config.patience and stall >= config.patience:
                 break
     model.load_state_dict(best[2])
@@ -320,19 +466,25 @@ def train_graph_regressor(
     train_graphs: GraphSource,
     val_graphs: GraphSource,
     config: TrainConfig = TrainConfig(),
+    *,
+    checkpoint: CheckpointConfig | None = None,
+    resume: bool | str | Path = False,
 ) -> TrainResult:
     """Fit the regressor, restoring the best-validation-MAPE weights.
 
     ``train_graphs``/``val_graphs`` may be in-memory lists or streaming
     readers (:class:`~repro.dataset.shards.ShardedDataset` /
     :class:`~repro.dataset.shards.DatasetView`); both produce identical
-    results on a fixed seed.
+    results on a fixed seed. ``checkpoint``/``resume`` make the run
+    crash-safe — see :mod:`repro.training.checkpoint`.
     """
     return _fit(
         model,
         train_graphs,
         val_graphs,
         config,
+        checkpoint=checkpoint,
+        resume=resume,
         batch_loss=lambda batch: mse_loss(
             model(batch), Tensor(_target_matrix(batch))
         ),
@@ -383,6 +535,9 @@ def train_node_classifier(
     train_graphs: GraphSource,
     val_graphs: GraphSource,
     config: TrainConfig = TrainConfig(),
+    *,
+    checkpoint: CheckpointConfig | None = None,
+    resume: bool | str | Path = False,
 ) -> TrainResult:
     """Fit the node-level resource-type classifier (3 binary tasks)."""
     return _fit(
@@ -390,6 +545,8 @@ def train_node_classifier(
         train_graphs,
         val_graphs,
         config,
+        checkpoint=checkpoint,
+        resume=resume,
         batch_loss=lambda batch: bce_with_logits(
             model(batch), Tensor(_label_matrix(batch))
         ),

@@ -139,6 +139,29 @@ class TestInjector:
         with pytest.raises(InjectedFault, match="boom"):
             FaultInjector(FaultPlan(specs=(spec,))).check("s")
 
+    def test_check_skips_corrupt_specs(self):
+        # corrupt specs only make sense on data-carrying calls; a plain
+        # check() at the same seam must pass through untouched.
+        spec = FaultSpec(seam="s", corrupt=True, fail_on_calls=(1, 2))
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        injector.check("s")  # call 1: no raise
+        assert injector.filter("s", "", b"data") != b"data"  # call 2 corrupts
+
+    def test_filter_is_deterministic_per_call(self):
+        spec = FaultSpec(seam="s", corrupt=True, fail_on_calls=(1, 2))
+        data = bytes(range(32))
+        first = FaultInjector(FaultPlan(seed=3, specs=(spec,)))
+        second = FaultInjector(FaultPlan(seed=3, specs=(spec,)))
+        assert first.filter("s", "k", data) == second.filter("s", "k", data)
+        # empty buffers pass through rather than corrupting nothing
+        assert first.filter("s", "k", b"") == b""
+
+    def test_filter_raises_for_non_corrupt_specs(self):
+        spec = FaultSpec(seam="s", fail_on_calls=(1,))
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        with pytest.raises(InjectedFault):
+            injector.filter("s", "", b"data")
+
 
 def _verdict_stream(plan, n):
     injector = FaultInjector(plan)
