@@ -58,9 +58,10 @@ def main() -> None:
         print(f"trained {label}")
 
     print()
-    rows = []
-    for i, metric in enumerate(("DSP", "LUT", "FF", "CP")):
-        rows.append([metric] + [f"{100 * results[k][i]:.1f}%" for k in results])
+    rows = [
+        [metric] + [f"{100 * results[k][i]:.1f}%" for k in results]
+        for i, metric in enumerate(("DSP", "LUT", "FF", "CP"))
+    ]
     print(format_table(["Metric", *results.keys()], rows,
                        title="MAPE on unseen real-case kernels"))
     lut_gain = results["HLS report"][1] / max(results["RGCN-I (infused)"][1], 1e-9)

@@ -129,10 +129,8 @@ def build_synthetic_dataset(
 def build_realcase_dataset(suites: tuple[str, ...] = SUITE_NAMES) -> list[GraphData]:
     """The 56-kernel generalisation set (always CDFG extraction)."""
     encoder = FeatureEncoder()
-    samples = []
-    for suite in suites:
-        for program in suite_programs(suite):
-            samples.append(
-                build_graph(program, kind="cdfg", encoder=encoder, meta={"suite": suite})
-            )
-    return samples
+    return [
+        build_graph(program, kind="cdfg", encoder=encoder, meta={"suite": suite})
+        for suite in suites
+        for program in suite_programs(suite)
+    ]

@@ -77,6 +77,8 @@ def render_stats(stats: DatasetStats, title: str = "Dataset statistics") -> str:
         ["node-label positive rate (DSP/LUT/FF)",
          "/".join(f"{100 * v:.1f}%" for v in stats.node_label_positive_rates)],
     ]
-    for name, (lo, mid, hi) in stats.label_ranges.items():
-        rows.append([f"label {name} min/med/max", f"{lo:.1f}/{mid:.1f}/{hi:.1f}"])
+    rows.extend(
+        [f"label {name} min/med/max", f"{lo:.1f}/{mid:.1f}/{hi:.1f}"]
+        for name, (lo, mid, hi) in stats.label_ranges.items()
+    )
     return format_table(["statistic", "value"], rows, title=title)

@@ -79,8 +79,7 @@ _SUFFIX = {"base": "", "infused": "-I", "rich": "-R"}
 def _md_table(headers: list[str], rows: list[list[str]]) -> str:
     lines = ["| " + " | ".join(headers) + " |"]
     lines.append("|" + "|".join("---" for _ in headers) + "|")
-    for row in rows:
-        lines.append("| " + " | ".join(row) + " |")
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
     return "\n".join(lines)
 
 
@@ -120,11 +119,11 @@ def write_report(scale, t2, t3, t4, t5, path: str | Path) -> None:
     rows = []
     for name in ALL_MODEL_NAMES:
         row = [MODEL_SPECS[name].paper_row]
-        for dataset in ("dfg", "cdfg"):
-            for i in range(4):
-                row.append(
-                    _pair(100 * t2[name][dataset][i], PAPER_TABLE2[name][dataset][i])
-                )
+        row.extend(
+            _pair(100 * t2[name][dataset][i], PAPER_TABLE2[name][dataset][i])
+            for dataset in ("dfg", "cdfg")
+            for i in range(4)
+        )
         rows.append(row)
     parts.append(_md_table(headers, rows))
 
@@ -135,11 +134,11 @@ def write_report(scale, t2, t3, t4, t5, path: str | Path) -> None:
     rows = []
     for name in TABLE3_MODELS:
         row = [MODEL_SPECS[name].paper_row]
-        for dataset in ("dfg", "cdfg", "real"):
-            for i in range(3):
-                row.append(
-                    _pair(100 * t3[name][dataset][i], PAPER_TABLE3[name][dataset][i])
-                )
+        row.extend(
+            _pair(100 * t3[name][dataset][i], PAPER_TABLE3[name][dataset][i])
+            for dataset in ("dfg", "cdfg", "real")
+            for i in range(3)
+        )
         rows.append(row)
     parts.append(_md_table(headers, rows))
 
@@ -149,26 +148,25 @@ def write_report(scale, t2, t3, t4, t5, path: str | Path) -> None:
     for backbone in ("rgcn", "pna"):
         for approach in ("base", "infused", "rich"):
             row = [backbone.upper() + _SUFFIX[approach]]
-            for dataset in ("dfg", "cdfg"):
-                for i in range(4):
-                    row.append(
-                        _pair(
-                            100 * t4[backbone][approach][dataset][i],
-                            PAPER_TABLE4[backbone][approach][dataset][i],
-                        )
-                    )
+            row.extend(
+                _pair(
+                    100 * t4[backbone][approach][dataset][i],
+                    PAPER_TABLE4[backbone][approach][dataset][i],
+                )
+                for dataset in ("dfg", "cdfg")
+                for i in range(4)
+            )
             rows.append(row)
     parts.append(_md_table(headers, rows))
 
     parts += ["", "## Table 5 — real-case generalisation, MAPE (%)", ""]
     labels = list(t5)
     headers = ["Metric"] + labels
-    rows = []
-    for i, target in enumerate(TARGET_NAMES):
-        rows.append(
-            [target]
-            + [_pair(100 * t5[label][i], PAPER_TABLE5[label][i]) for label in labels]
-        )
+    rows = [
+        [target]
+        + [_pair(100 * t5[label][i], PAPER_TABLE5[label][i]) for label in labels]
+        for i, target in enumerate(TARGET_NAMES)
+    ]
     parts.append(_md_table(headers, rows))
     parts += [
         "",

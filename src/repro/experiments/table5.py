@@ -86,9 +86,10 @@ def run_table5(
 def render_table5(results: dict) -> str:
     labels = list(results)
     headers = ["Metric"] + labels
-    rows = []
-    for i, target in enumerate(TARGET_NAMES):
-        rows.append([target] + [f"{100 * results[l][i]:.2f}%" for l in labels])
+    rows = [
+        [target] + [f"{100 * results[l][i]:.2f}%" for l in labels]
+        for i, target in enumerate(TARGET_NAMES)
+    ]
     return format_table(
         headers,
         rows,

@@ -10,17 +10,22 @@ their reverses.
 :class:`GraphContext` precomputes and caches everything layers need once
 per batch topology: symmetric edges, GCN normalisation, degrees, and —
 the numpy-backend hot path — :class:`~repro.tensor.SegmentPlan` objects
-turning every scatter/gather in the layer stack into sorted
-``reduceat`` kernels. The relation partition is one lexsort by
-(relation, dst); per-relation edge lists are slices of the sorted edge
-array, already dst-contiguous, so their scatter plans skip the argsort
-too. Plans are built once per context and shared by every layer of
-every forward over it; contexts are additionally cached on the
-:class:`~repro.graph.batch.Batch` they came from (per
-``num_edge_types``), so a *reused* batch — the trainer's epoch loops
-over pinned train/val batches — never rebuilds topology. (Serving
-builds a fresh union batch per flush, so it gains the per-forward plan
-sharing and fast kernels, not cross-flush reuse.)
+turning every scatter/gather in the layer stack into planned kernels.
+Plans and fused SpMM operators are built by the *active scatter
+backend* (:mod:`repro.tensor.backends`: ``csr``, ``numpy-reduceat``,
+``bucketed``, ...) and cached **per backend name**, so a session that
+switches backends mid-stream — a benchmark sweep, a serving tier pinned
+to ``bucketed`` next to a trainer on ``csr`` — never executes one
+backend's kernels through another's cached plans. The relation
+partition is one lexsort by (relation, dst); per-relation edge lists
+are slices of the sorted edge array, already dst-contiguous, so their
+scatter plans skip the argsort too. Plans are built once per context
+and shared by every layer of every forward over it; contexts are
+additionally cached on the :class:`~repro.graph.batch.Batch` they came
+from (per ``num_edge_types``), so a *reused* batch — the trainer's
+epoch loops over pinned train/val batches — never rebuilds topology.
+(Serving builds a fresh union batch per flush, so it gains the
+per-forward plan sharing and fast kernels, not cross-flush reuse.)
 
 Indices are validated once at context construction; every plan and
 kernel downstream trusts them (``validate=False`` / ``validated=True``).
@@ -32,15 +37,11 @@ from functools import cached_property
 
 import numpy as np
 
-try:
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover - container always ships scipy
-    _sparse = None
-
 from repro.graph.batch import Batch
 from repro.tensor import (
     SegmentPlan,
     Tensor,
+    active_backend,
     gather_rows,
     get_default_dtype,
     plans_enabled,
@@ -114,7 +115,14 @@ class GraphContext:
             .reshape(-1, 1)
         )
 
-        self._relation_plans: dict[int, tuple[SegmentPlan, SegmentPlan]] = {}
+        # Every cache below keys by the active scatter backend's name, so
+        # plans/operators built by one backend are never executed by
+        # another (mixed-backend sessions stay isolated).
+        self._plan_cache: dict[tuple[str, str], SegmentPlan] = {}
+        self._gcn_operators: dict[str, object] = {}
+        self._relation_plans: dict[
+            tuple[str, int], tuple[SegmentPlan, SegmentPlan]
+        ] = {}
         self._relation_fusions: dict[int, "RelationFusion"] = {}
 
     @classmethod
@@ -142,31 +150,43 @@ class GraphContext:
             cache[int(num_edge_types)] = ctx
         return ctx
 
-    # -- precomputed scatter plans (built lazily, once per context) ------
-    @cached_property
+    # -- precomputed scatter plans (lazy, once per context per backend) --
+    def _plan(
+        self, key: str, index: np.ndarray, dim_size: int, assume_sorted: bool = False
+    ) -> SegmentPlan:
+        backend = active_backend()
+        plan = self._plan_cache.get((backend.name, key))
+        if plan is None:
+            plan = backend.build_plan(
+                index, dim_size, validate=False, assume_sorted=assume_sorted
+            )
+            self._plan_cache[(backend.name, key)] = plan
+        return plan
+
+    @property
     def sym_dst_plan(self) -> SegmentPlan:
         """Scatter-into-dst plan over symmetric edges (SAGE, GIN, PNA)."""
-        return SegmentPlan(self.sym_dst, self.num_nodes, validate=False)
+        return self._plan("sym_dst", self.sym_dst, self.num_nodes)
 
-    @cached_property
+    @property
     def sym_src_plan(self) -> SegmentPlan:
         """Backward plan of ``gather_rows(x, sym_src)`` over symmetric edges."""
-        return SegmentPlan(self.sym_src, self.num_nodes, validate=False)
+        return self._plan("sym_src", self.sym_src, self.num_nodes)
 
-    @cached_property
+    @property
     def gcn_dst_plan(self) -> SegmentPlan:
         """Scatter plan over the GCN edge set (symmetric + self loops)."""
-        return SegmentPlan(self.gcn_dst, self.num_nodes, validate=False)
+        return self._plan("gcn_dst", self.gcn_dst, self.num_nodes)
 
-    @cached_property
+    @property
     def gcn_src_plan(self) -> SegmentPlan:
         """Backward plan of ``gather_rows(x, gcn_src)``."""
-        return SegmentPlan(self.gcn_src, self.num_nodes, validate=False)
+        return self._plan("gcn_src", self.gcn_src, self.num_nodes)
 
-    @cached_property
+    @property
     def pool_plan(self) -> SegmentPlan:
         """Pooling plan: nodes into graphs by the ``batch`` vector."""
-        return SegmentPlan(self.batch, self.num_graphs, validate=False)
+        return self._plan("pool", self.batch, self.num_graphs)
 
     # -- cached relation partition --------------------------------------
     @cached_property
@@ -209,45 +229,48 @@ class GraphContext:
         ``dst_plan`` the forward scatter into target nodes (argsort-free:
         the slice is dst-sorted by construction).
         """
-        plans = self._relation_plans.get(relation)
+        backend = active_backend()
+        plans = self._relation_plans.get((backend.name, relation))
         if plans is None:
             src, dst = self.relation_edges(relation)
             plans = (
-                SegmentPlan(src, self.num_nodes, validate=False),
-                SegmentPlan(dst, self.num_nodes, validate=False, assume_sorted=True),
+                backend.build_plan(src, self.num_nodes, validate=False),
+                backend.build_plan(
+                    dst, self.num_nodes, validate=False, assume_sorted=True
+                ),
             )
-            self._relation_plans[relation] = plans
+            self._relation_plans[(backend.name, relation)] = plans
         return plans
 
-    @cached_property
     def _gcn_operator(self):
-        """``(Â, Â^T)`` as CSR matrices, or ``None`` without scipy.
+        """The ``Â`` SpMM operator of the active backend, or ``None``.
 
         The whole GCN propagation — gather, edge-wise normalisation,
-        scatter — collapses into one sparse matmul per direction;
-        duplicate (dst, src) pairs sum on conversion, matching the
-        scatter semantics. ``Â`` is symmetric by construction but the
-        explicit transpose keeps the adjoint honest if that ever changes.
+        scatter — collapses into one sparse matvec per direction (the
+        adjoint serves the backward); duplicate (dst, src) pairs sum on
+        conversion, matching the scatter semantics. Cached per backend
+        name so mixed-backend sessions never share kernels.
         """
-        if _sparse is None:
-            return None
-        adjacency = _sparse.csr_matrix(
-            (self.gcn_norm.reshape(-1), (self.gcn_dst, self.gcn_src)),
-            shape=(self.num_nodes, self.num_nodes),
-        )
-        return adjacency, adjacency.T.tocsr()
+        backend = active_backend()
+        if backend.name not in self._gcn_operators:
+            self._gcn_operators[backend.name] = backend.sparse_operator(
+                self.gcn_dst,
+                self.gcn_src,
+                self.gcn_norm.reshape(-1),
+                (self.num_nodes, self.num_nodes),
+            )
+        return self._gcn_operators[backend.name]
 
     # -- aggregation helpers ---------------------------------------------
     def propagate_gcn(self, x: Tensor) -> Tensor:
         """One application of the normalised adjacency ``D^-1/2 Ã D^-1/2``."""
-        operator = self._gcn_operator if plans_enabled() else None
+        operator = self._gcn_operator() if plans_enabled() else None
         if operator is not None:
-            adjacency, adjacency_t = operator
-            data = np.asarray(adjacency @ x.data)
+            data = np.asarray(operator.apply(x.data))
 
             def backward(grad: np.ndarray) -> None:
                 if x.requires_grad:
-                    x._accumulate(np.asarray(adjacency_t @ grad))
+                    x._accumulate(np.asarray(operator.apply_t(grad)))
 
             return Tensor._make(data, (x,), backward)
         messages = gather_rows(x, self.gcn_src, plan=self.gcn_src_plan)
@@ -291,14 +314,15 @@ class RelationFusion:
     - ``norm_for(dtype)`` — the per-edge ``1 / c_{v, r}`` column that
       turns the single fused ``scatter_sum`` into the per-relation
       ``scatter_mean`` RGCN and FiLM are defined with;
-    - ``collect``/``weighted_scatter`` — CSR operators (the relational
-      analogue of the GCN ``Â`` matmul) fusing gather + normalise +
-      scatter into one sparse matvec per direction: ``collect`` maps a
-      stacked ``[R, N, O]`` transform straight to ``[N, O]`` aggregated
-      messages, ``weighted_scatter`` lands per-edge messages with their
+    - ``collect``/``weighted_scatter`` — fused SpMM operators built by
+      the active scatter backend (the relational analogue of the GCN
+      ``Â`` matmul), fusing gather + normalise + scatter into one sparse
+      matvec per direction: ``collect`` maps a stacked ``[R, N, O]``
+      transform straight to ``[N, O]`` aggregated messages,
+      ``weighted_scatter`` lands per-edge messages with their
       ``1/c_{v,r}`` weights applied. Both fall back to the plan-threaded
-      gather/mul/scatter composition without scipy or under
-      ``use_plans(False)``.
+      gather/mul/scatter composition when the backend has no fused
+      operator or under ``use_plans(False)``.
     """
 
     def __init__(self, ctx: GraphContext, num_relations: int):
@@ -313,11 +337,13 @@ class RelationFusion:
         self.starts = starts[:active]
         self.ends = ends[:active]
         self.num_edges = stop
-        self._plans: dict[str, SegmentPlan] = {}
-        self._flat: dict[str, tuple[np.ndarray, SegmentPlan]] = {}
+        # Plan/operator caches key by the active backend's name so each
+        # backend executes only kernels it built itself.
+        self._plans: dict[tuple[str, str], SegmentPlan] = {}
+        self._flat: dict[tuple[str, str], tuple[np.ndarray, SegmentPlan]] = {}
         self._norms: dict[np.dtype, np.ndarray] = {}
-        self._collect_ops: dict[tuple[np.dtype, bool], tuple] = {}
-        self._edge_ops: dict[np.dtype, tuple] = {}
+        self._collect_ops: dict[tuple[str, np.dtype, bool], object] = {}
+        self._edge_ops: dict[tuple[str, np.dtype], object] = {}
 
     def prefer_block(self, num_nodes: int) -> bool:
         """Whether the gather-by-relation block kernel transforms fewer
@@ -334,10 +360,13 @@ class RelationFusion:
 
     def plan(self, endpoint: str) -> SegmentPlan:
         """Scatter plan of ``index(endpoint)`` into the node table."""
-        plan = self._plans.get(endpoint)
+        backend = active_backend()
+        plan = self._plans.get((backend.name, endpoint))
         if plan is None:
-            plan = SegmentPlan(self.index(endpoint), self.num_nodes, validate=False)
-            self._plans[endpoint] = plan
+            plan = backend.build_plan(
+                self.index(endpoint), self.num_nodes, validate=False
+            )
+            self._plans[(backend.name, endpoint)] = plan
         return plan
 
     @cached_property
@@ -356,13 +385,14 @@ class RelationFusion:
         return self._flat_entry(endpoint)[1]
 
     def _flat_entry(self, endpoint: str) -> tuple[np.ndarray, SegmentPlan]:
-        entry = self._flat.get(endpoint)
+        backend = active_backend()
+        entry = self._flat.get((backend.name, endpoint))
         if entry is None:
             index = self._relation_ids * self.num_nodes + self.index(endpoint)
-            plan = SegmentPlan(
+            plan = backend.build_plan(
                 index, self.num_relations * self.num_nodes, validate=False
             )
-            self._flat[endpoint] = entry = (index, plan)
+            self._flat[(backend.name, endpoint)] = entry = (index, plan)
         return entry
 
     def norm_for(self, dtype) -> np.ndarray:
@@ -385,46 +415,42 @@ class RelationFusion:
             self._norms[dtype] = norm
         return norm
 
-    # -- fused CSR operators (gather + normalise + scatter in one matvec) --
+    # -- fused SpMM operators (gather + normalise + scatter in one matvec) --
     def _collect_operator(self, dtype, weighted: bool):
-        """``[N, R * N]`` CSR summing a flattened stacked transform into
-        per-node messages (optionally ``1/c_{v,r}``-weighted), + its
-        transpose for the backward. ``None`` without scipy."""
-        if _sparse is None:
-            return None
-        key = (np.dtype(dtype), weighted)
-        operator = self._collect_ops.get(key)
-        if operator is None:
+        """``[N, R * N]`` SpMM operator summing a flattened stacked
+        transform into per-node messages (optionally
+        ``1/c_{v,r}``-weighted); the adjoint serves the backward.
+        ``None`` when the active backend has no fused operator."""
+        backend = active_backend()
+        key = (backend.name, np.dtype(dtype), weighted)
+        if key not in self._collect_ops:
             data = (
                 self.norm_for(dtype).reshape(-1)
                 if weighted
                 else np.ones(self.num_edges, dtype=dtype)
             )
-            matrix = _sparse.csr_matrix(
-                (data, (self.dst, self.flat_index("src"))),
-                shape=(self.num_nodes, self.num_relations * self.num_nodes),
+            self._collect_ops[key] = backend.sparse_operator(
+                self.dst,
+                self.flat_index("src"),
+                data,
+                (self.num_nodes, self.num_relations * self.num_nodes),
             )
-            self._collect_ops[key] = operator = (matrix, matrix.T.tocsr())
-        return operator
+        return self._collect_ops[key]
 
     def _edge_operator(self, dtype):
-        """``[N, E]`` CSR landing per-edge messages on their dst rows with
-        the ``1/c_{v,r}`` weight applied, + transpose. ``None`` without
-        scipy."""
-        if _sparse is None:
-            return None
-        key = np.dtype(dtype)
-        operator = self._edge_ops.get(key)
-        if operator is None:
-            matrix = _sparse.csr_matrix(
-                (
-                    self.norm_for(dtype).reshape(-1),
-                    (self.dst, np.arange(self.num_edges)),
-                ),
-                shape=(self.num_nodes, self.num_edges),
+        """``[N, E]`` SpMM operator landing per-edge messages on their dst
+        rows with the ``1/c_{v,r}`` weight applied. ``None`` when the
+        active backend has no fused operator."""
+        backend = active_backend()
+        key = (backend.name, np.dtype(dtype))
+        if key not in self._edge_ops:
+            self._edge_ops[key] = backend.sparse_operator(
+                self.dst,
+                np.arange(self.num_edges),
+                self.norm_for(dtype).reshape(-1),
+                (self.num_nodes, self.num_edges),
             )
-            self._edge_ops[key] = operator = (matrix, matrix.T.tocsr())
-        return operator
+        return self._edge_ops[key]
 
     def collect(self, stacked: Tensor, weighted: bool = False) -> Tensor:
         """Aggregate a stacked ``[R, N, O]`` transform into ``[N, O]``.
@@ -438,14 +464,13 @@ class RelationFusion:
         rows = self.num_relations * self.num_nodes
         operator = self._collect_operator(stacked.dtype, weighted) if plans_enabled() else None
         if operator is not None:
-            matrix, matrix_t = operator
             flat = stacked.data.reshape(rows, -1)
-            data = np.asarray(matrix @ flat)
+            data = np.asarray(operator.apply(flat))
 
             def backward(grad: np.ndarray) -> None:
                 if stacked.requires_grad:
                     stacked._accumulate(
-                        np.asarray(matrix_t @ grad).reshape(stacked.shape)
+                        np.asarray(operator.apply_t(grad)).reshape(stacked.shape)
                     )
 
             return Tensor._make(data, (stacked,), backward)
@@ -464,12 +489,11 @@ class RelationFusion:
         """
         operator = self._edge_operator(messages.dtype) if plans_enabled() else None
         if operator is not None:
-            matrix, matrix_t = operator
-            data = np.asarray(matrix @ messages.data)
+            data = np.asarray(operator.apply(messages.data))
 
             def backward(grad: np.ndarray) -> None:
                 if messages.requires_grad:
-                    messages._accumulate(np.asarray(matrix_t @ grad))
+                    messages._accumulate(np.asarray(operator.apply_t(grad)))
 
             return Tensor._make(data, (messages,), backward)
         weighted = messages * Tensor(self.norm_for(messages.dtype))

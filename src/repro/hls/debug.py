@@ -38,9 +38,8 @@ def schedule_report(result: HLSResult) -> str:
 
 def binding_report(result: HLSResult) -> str:
     """Functional units with sharing and replication."""
-    rows = []
-    for i, unit in enumerate(result.binding.units):
-        rows.append([
+    rows = [
+        [
             f"FU{i}",
             unit.family,
             unit.width,
@@ -49,7 +48,9 @@ def binding_report(result: HLSResult) -> str:
             unit.character.dsp,
             unit.character.lut,
             unit.mux_lut,
-        ])
+        ]
+        for i, unit in enumerate(result.binding.units)
+    ]
     return format_table(
         ["unit", "family", "width", "sharers", "replicas", "DSP", "LUT", "muxLUT"],
         rows,

@@ -97,17 +97,15 @@ def _trip_count(function: IRFunction, header: str, latch: str) -> int | None:
 def analyze_loops(function: IRFunction) -> list[LoopInfo]:
     """All natural loops of ``function`` with trip counts when statically
     recoverable."""
-    loops = []
-    for latch, header in sorted(back_edges(function)):
-        loops.append(
-            LoopInfo(
-                header=header,
-                latch=latch,
-                blocks=_loop_blocks(function, header, latch),
-                trip_count=_trip_count(function, header, latch),
-            )
+    return [
+        LoopInfo(
+            header=header,
+            latch=latch,
+            blocks=_loop_blocks(function, header, latch),
+            trip_count=_trip_count(function, header, latch),
         )
-    return loops
+        for latch, header in sorted(back_edges(function))
+    ]
 
 
 def loop_unroll_factor(

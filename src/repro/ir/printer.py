@@ -60,7 +60,6 @@ def function_to_text(function: IRFunction) -> str:
     lines = [f"define i{function.ret_type.width} @{function.name}({params}) {{"]
     for block in function.blocks:
         lines.append(f"{block.name}:")
-        for inst in block.instructions:
-            lines.append(f"  {instruction_to_text(inst)}")
+        lines.extend(f"  {instruction_to_text(inst)}" for inst in block.instructions)
     lines.append("}")
     return "\n".join(lines)

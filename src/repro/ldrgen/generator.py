@@ -160,10 +160,10 @@ class ProgramGenerator:
 
         n_loops = int(rng.integers(1, config.max_loops + 1))
         loop_counter = [0]
-        for _ in range(n_loops):
-            body.append(
-                self._generate_loop(sampler, scalars, arrays, locals_, 1, loop_counter)
-            )
+        body.extend(
+            self._generate_loop(sampler, scalars, arrays, locals_, 1, loop_counter)
+            for _ in range(n_loops)
+        )
         # A little straight-line tail keeps DFG content in the mix.
         n_tail = int(rng.integers(0, 3))
         for i in range(n_tail):

@@ -68,6 +68,17 @@ from repro.tensor.scatter import (
     segment_counts,
     use_plans,
 )
+from repro.tensor.backends import (
+    ScatterBackend,
+    active_backend,
+    available_backends,
+    build_plan,
+    get_backend,
+    register_backend,
+    scatter_workers,
+    set_backend,
+    use_backend,
+)
 from repro.tensor.fused import (
     addmm,
     fused_relations_enabled,
@@ -115,6 +126,15 @@ __all__ = [
     "tanh",
     "where",
     "SegmentPlan",
+    "ScatterBackend",
+    "active_backend",
+    "available_backends",
+    "build_plan",
+    "get_backend",
+    "register_backend",
+    "scatter_workers",
+    "set_backend",
+    "use_backend",
     "gather_rows",
     "plans_enabled",
     "use_plans",

@@ -23,6 +23,32 @@ batch topology and threads them through the layers. Both paths produce
 the same values and gradients; ``use_plans(False)`` forces the fallback
 kernels for benchmarking and differential testing.
 
+Backend selection
+-----------------
+*How* a planned kernel executes is pluggable. The registry in
+:mod:`repro.tensor.backends` maps names to :class:`ScatterBackend`
+implementations; each backend builds :class:`SegmentPlan` (sub)classes
+whose ``segment_sum`` / ``segment_reduce`` run its kernels, so every
+scatter op below and the ``gather_rows`` backward execute through the
+selected backend without further dispatch. Registered today:
+
+- ``"csr"`` (default) — one scipy CSR scatter matrix per plan, segment
+  max/min via sorted ``reduceat`` (the PR 2 engine, this module's
+  :class:`SegmentPlan`);
+- ``"numpy-reduceat"`` — portable sorted-``reduceat`` kernels only, no
+  scipy required;
+- ``"bucketed"`` — degree-bucketed rows cut into nonzero-balanced
+  shards executed on a thread pool; the backend for skew-heavy graphs
+  on multi-core hosts.
+
+Select with ``repro.tensor.use_backend("bucketed")`` (scoped),
+``set_backend`` (process-wide) or the ``REPRO_SCATTER_BACKEND``
+environment variable; unknown names fail fast with the valid set.
+Plans are cached per backend on ``GraphContext``/``Batch``, so
+switching backends mid-session never reuses another backend's kernels.
+``use_plans(False)`` still forces the unbuffered fallback regardless of
+the selected backend — the common differential baseline.
+
 Index validation happens once per plan (at construction). The planless
 path validates per call unless the caller passes ``validated=True``
 (e.g. a serving boundary that already ran

@@ -277,9 +277,11 @@ class Tensor:
                 continue
             visited.add(id(node))
             stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited and parent.requires_grad:
-                    stack.append((parent, False))
+            stack.extend(
+                (parent, False)
+                for parent in node._parents
+                if id(parent) not in visited and parent.requires_grad
+            )
         if grad is None:
             grad = np.ones_like(self.data)
         else:

@@ -30,19 +30,45 @@ from repro.typesys import CArray, CInt
 INT16, INT32 = CInt(16), CInt(32)
 
 
-def pytest_configure(config):
-    """Honour ``REPRO_DTYPE`` (CI's float64 matrix job).
+#: Dtype policies the CI matrix may request; anything else is a typo we
+#: want to stop the run over, not silently fall through to float32.
+_VALID_DTYPES = ("float32", "float64")
 
-    The suite normally runs under the production float32 policy; setting
-    ``REPRO_DTYPE=float64`` re-runs every test under the opt-out path of
-    :func:`repro.tensor.set_default_dtype`, so both sides of the dtype
-    policy are exercised on every PR.
+
+def pytest_configure(config):
+    """Honour ``REPRO_DTYPE`` and ``REPRO_SCATTER_BACKEND`` (CI matrix).
+
+    The suite normally runs under the production float32 policy and the
+    default ``csr`` scatter backend; the CI matrix re-runs it with
+    ``REPRO_DTYPE=float64`` (the opt-out path of
+    :func:`repro.tensor.set_default_dtype`) and with
+    ``REPRO_SCATTER_BACKEND=bucketed`` so every backend keeps the whole
+    suite green. Unknown values for either variable abort collection
+    with the valid set — a misspelled matrix entry must not silently
+    test the defaults twice.
     """
     dtype = os.environ.get("REPRO_DTYPE")
     if dtype:
+        if dtype not in _VALID_DTYPES:
+            raise pytest.UsageError(
+                f"REPRO_DTYPE={dtype!r} is not a supported dtype policy; "
+                f"valid values: {', '.join(_VALID_DTYPES)}"
+            )
         from repro.tensor import set_default_dtype
 
         set_default_dtype(np.dtype(dtype))
+
+    backend = os.environ.get("REPRO_SCATTER_BACKEND")
+    if backend:
+        # repro.tensor.backends applies the variable at import, so an
+        # unknown name raises as soon as the package loads; surface it
+        # as a clean usage error either way.
+        try:
+            from repro.tensor import get_backend
+
+            get_backend(backend)
+        except ValueError as exc:
+            raise pytest.UsageError(str(exc)) from None
 
 
 @pytest.fixture(scope="session")

@@ -95,7 +95,7 @@ class TestResume:
     def test_resume_after_kill_completes_manifest(self, tmp_path):
         out = tmp_path / "ds"
         full, _ = build_pipeline(out, "dfg", 6, seed=1, shard_size=2)
-        reference = [s for s in full]
+        reference = list(full)
 
         # Simulate a kill between shards: drop the last shard file and
         # rewind the manifest to the checkpoint the builder would have
@@ -432,7 +432,7 @@ class TestFaultTolerance:
             out, "dfg", 6, seed=1, shard_size=3, faults=plan
         )
         assert stats.quarantined == 1
-        reference = [s for s in full]
+        reference = list(full)
 
         # Simulate a kill between shards, as in TestResume.
         manifest = json.loads((out / MANIFEST_NAME).read_text())
