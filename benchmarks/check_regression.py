@@ -83,6 +83,16 @@ GATES: dict[str, list[tuple[str, str, float]]] = {
         # bitwise-identical loss curve (1 = identical).
         ("resume_identical", "higher", 0.0),
     ],
+    "BENCH_partition.json": [
+        # The tentpole bound: partitioned layer-wise inference must stay
+        # well under the full-graph peak. tracemalloc ratios are
+        # hardware-independent, so the slack is small — and the <=0.5x
+        # acceptance bar is asserted inside bench_partition.py itself.
+        ("mem_ratio", "lower", 0.05),
+        # Hard invariant: streamed outputs match the full-graph forward
+        # within rtol 1e-4 (1 = within tolerance).
+        ("parity_ok", "higher", 0.0),
+    ],
     "BENCH_dataset.json": [
         # Parallel-vs-serial scales with runner cores (the committed
         # baseline may come from a small host); the warm-cache rebuild

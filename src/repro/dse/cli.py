@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="GNN architecture when training in-process (default gcn — the "
         "throughput-oriented serving choice; see BENCH_dse.json)",
     )
+    explore_p.add_argument(
+        "--stream-nodes",
+        type=int,
+        default=0,
+        help="candidate graphs with >= this many nodes are predicted "
+        "layer-wise over partition blocks in bounded memory (0 disables)",
+    )
     explore_p.add_argument("--json", help="write the full result as JSON here")
     explore_p.add_argument(
         "--obs",
@@ -256,7 +263,12 @@ def run_explore(args: argparse.Namespace) -> int:
         predictor = load_or_train_predictor(args)
         service = PredictionService(
             predictor,
-            ServiceConfig(max_batch_size=256, cache_size=8192, validate=False),
+            ServiceConfig(
+                max_batch_size=256,
+                cache_size=8192,
+                validate=False,
+                stream_nodes=args.stream_nodes,
+            ),
         )
         ledger = active_ledger()
         if ledger is not None:

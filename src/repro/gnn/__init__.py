@@ -12,6 +12,12 @@ from repro.gnn.message_passing import GraphContext, RelationFusion
 from repro.gnn.registry import ALL_MODEL_NAMES, MODEL_SPECS, build_layer, get_spec
 from repro.gnn.network import GNNEncoder, GraphRegressor, NodeClassifier
 from repro.gnn.pooling import get_pooling, max_pool, mean_pool, sum_pool
+from repro.gnn.streaming import (
+    predict_node_logits_streaming,
+    predict_regressor_streaming,
+    stream_node_embeddings,
+    supports_streaming,
+)
 
 __all__ = [
     "GraphContext",
@@ -27,4 +33,8 @@ __all__ = [
     "max_pool",
     "mean_pool",
     "sum_pool",
+    "predict_node_logits_streaming",
+    "predict_regressor_streaming",
+    "stream_node_embeddings",
+    "supports_streaming",
 ]

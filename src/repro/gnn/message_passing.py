@@ -47,6 +47,17 @@ from repro.tensor import (
     plans_enabled,
     scatter_sum,
 )
+from repro.utils.cache import LRUCache
+
+#: Bounds on the per-context plan/operator caches. A context serves a
+#: fixed topology, so the key space is small (5 named plans x backends,
+#: one GCN operator per backend, one fusion per stacked-weight depth) —
+#: the LRU is a leak guard for long mixed-backend streams, not a tuning
+#: knob.
+PLAN_CACHE_SIZE = 32
+GCN_OPERATOR_CACHE_SIZE = 4
+RELATION_PLAN_CACHE_SIZE = 64
+RELATION_FUSION_CACHE_SIZE = 4
 
 
 class GraphContext:
@@ -60,6 +71,7 @@ class GraphContext:
         batch: np.ndarray,
         num_graphs: int,
         num_edge_types: int,
+        sym_degree: np.ndarray | None = None,
     ):
         self.edge_index = np.asarray(edge_index, dtype=np.int64).reshape(2, -1)
         self.edge_type = np.asarray(edge_type, dtype=np.int64).reshape(-1)
@@ -93,7 +105,19 @@ class GraphContext:
         self.num_relations = 2 * self.num_edge_types
 
         # In-degree over symmetric edges (plus self-loop) for GCN norm.
-        deg = np.bincount(self.sym_dst, minlength=self.num_nodes).astype(np.float64)
+        # ``sym_degree`` may be overridden by the caller: a block context
+        # cut out of a partitioned graph passes the *global* symmetric
+        # degrees of its local nodes, so GCN normalisation (and PNA's
+        # degree scalers) match full-graph execution exactly on the
+        # block's core rows even though only the induced edges are here.
+        if sym_degree is not None:
+            deg = np.asarray(sym_degree, dtype=np.float64).reshape(-1)
+            if len(deg) != self.num_nodes:
+                raise ValueError(
+                    f"sym_degree length {len(deg)} != num_nodes {self.num_nodes}"
+                )
+        else:
+            deg = np.bincount(self.sym_dst, minlength=self.num_nodes).astype(np.float64)
         self.sym_degree = deg
         deg_loop = deg + 1.0
         inv_sqrt = 1.0 / np.sqrt(deg_loop)
@@ -117,13 +141,13 @@ class GraphContext:
 
         # Every cache below keys by the active scatter backend's name, so
         # plans/operators built by one backend are never executed by
-        # another (mixed-backend sessions stay isolated).
-        self._plan_cache: dict[tuple[str, str], SegmentPlan] = {}
-        self._gcn_operators: dict[str, object] = {}
-        self._relation_plans: dict[
-            tuple[str, int], tuple[SegmentPlan, SegmentPlan]
-        ] = {}
-        self._relation_fusions: dict[int, "RelationFusion"] = {}
+        # another (mixed-backend sessions stay isolated). All are
+        # LRU-bounded: a stream that cycles through many backends or
+        # stacked-weight depths must not grow them without limit.
+        self._plan_cache = LRUCache(PLAN_CACHE_SIZE)
+        self._gcn_operators = LRUCache(GCN_OPERATOR_CACHE_SIZE)
+        self._relation_plans = LRUCache(RELATION_PLAN_CACHE_SIZE)
+        self._relation_fusions = LRUCache(RELATION_FUSION_CACHE_SIZE)
 
     @classmethod
     def from_batch(cls, batch: Batch, num_edge_types: int) -> "GraphContext":
@@ -147,7 +171,7 @@ class GraphContext:
             num_edge_types=num_edge_types,
         )
         if cache is not None:
-            cache[int(num_edge_types)] = ctx
+            cache.put(int(num_edge_types), ctx)
         return ctx
 
     # -- precomputed scatter plans (lazy, once per context per backend) --
@@ -160,7 +184,7 @@ class GraphContext:
             plan = backend.build_plan(
                 index, dim_size, validate=False, assume_sorted=assume_sorted
             )
-            self._plan_cache[(backend.name, key)] = plan
+            self._plan_cache.put((backend.name, key), plan)
         return plan
 
     @property
@@ -187,6 +211,19 @@ class GraphContext:
     def pool_plan(self) -> SegmentPlan:
         """Pooling plan: nodes into graphs by the ``batch`` vector."""
         return self._plan("pool", self.batch, self.num_graphs)
+
+    @cached_property
+    def mean_log_degree(self) -> float:
+        """Batch-average ``log1p`` symmetric degree — PNA's scaler anchor.
+
+        A plain cached property so a block context cut from a
+        :class:`~repro.graph.partition.PartitionedGraph` can overwrite it
+        with the *full-graph* average, keeping PNA's degree scalers
+        identical under layer-wise streaming.
+        """
+        if self.num_nodes == 0:
+            return 1e-6
+        return max(float(np.log1p(self.sym_degree).mean()), 1e-6)
 
     # -- cached relation partition --------------------------------------
     @cached_property
@@ -219,7 +256,7 @@ class GraphContext:
         fusion = self._relation_fusions.get(int(num_relations))
         if fusion is None:
             fusion = RelationFusion(self, int(num_relations))
-            self._relation_fusions[int(num_relations)] = fusion
+            self._relation_fusions.put(int(num_relations), fusion)
         return fusion
 
     def relation_plans(self, relation: int) -> tuple[SegmentPlan, SegmentPlan]:
@@ -239,7 +276,7 @@ class GraphContext:
                     dst, self.num_nodes, validate=False, assume_sorted=True
                 ),
             )
-            self._relation_plans[(backend.name, relation)] = plans
+            self._relation_plans.put((backend.name, relation), plans)
         return plans
 
     def _gcn_operator(self):
@@ -252,14 +289,15 @@ class GraphContext:
         name so mixed-backend sessions never share kernels.
         """
         backend = active_backend()
-        if backend.name not in self._gcn_operators:
-            self._gcn_operators[backend.name] = backend.sparse_operator(
+        return self._gcn_operators.get_or_create(
+            backend.name,
+            lambda: backend.sparse_operator(
                 self.gcn_dst,
                 self.gcn_src,
                 self.gcn_norm.reshape(-1),
                 (self.num_nodes, self.num_nodes),
-            )
-        return self._gcn_operators[backend.name]
+            ),
+        )
 
     # -- aggregation helpers ---------------------------------------------
     def propagate_gcn(self, x: Tensor) -> Tensor:
@@ -338,12 +376,14 @@ class RelationFusion:
         self.ends = ends[:active]
         self.num_edges = stop
         # Plan/operator caches key by the active backend's name so each
-        # backend executes only kernels it built itself.
-        self._plans: dict[tuple[str, str], SegmentPlan] = {}
-        self._flat: dict[tuple[str, str], tuple[np.ndarray, SegmentPlan]] = {}
-        self._norms: dict[np.dtype, np.ndarray] = {}
-        self._collect_ops: dict[tuple[str, np.dtype, bool], object] = {}
-        self._edge_ops: dict[tuple[str, np.dtype], object] = {}
+        # backend executes only kernels it built itself. LRU-bounded like
+        # the context caches (backends x endpoints x dtypes is small, but
+        # streaming sessions must not leak even across odd mixes).
+        self._plans = LRUCache(RELATION_PLAN_CACHE_SIZE)
+        self._flat = LRUCache(RELATION_PLAN_CACHE_SIZE)
+        self._norms = LRUCache(GCN_OPERATOR_CACHE_SIZE)
+        self._collect_ops = LRUCache(RELATION_PLAN_CACHE_SIZE)
+        self._edge_ops = LRUCache(GCN_OPERATOR_CACHE_SIZE)
 
     def prefer_block(self, num_nodes: int) -> bool:
         """Whether the gather-by-relation block kernel transforms fewer
@@ -366,7 +406,7 @@ class RelationFusion:
             plan = backend.build_plan(
                 self.index(endpoint), self.num_nodes, validate=False
             )
-            self._plans[(backend.name, endpoint)] = plan
+            self._plans.put((backend.name, endpoint), plan)
         return plan
 
     @cached_property
@@ -392,7 +432,8 @@ class RelationFusion:
             plan = backend.build_plan(
                 index, self.num_relations * self.num_nodes, validate=False
             )
-            self._flat[(backend.name, endpoint)] = entry = (index, plan)
+            entry = (index, plan)
+            self._flat.put((backend.name, endpoint), entry)
         return entry
 
     def norm_for(self, dtype) -> np.ndarray:
@@ -412,7 +453,7 @@ class RelationFusion:
             counts = np.bincount(key)
             inv = 1.0 / counts[key] if self.num_edges else np.empty(0)
             norm = inv.astype(dtype).reshape(-1, 1)
-            self._norms[dtype] = norm
+            self._norms.put(dtype, norm)
         return norm
 
     # -- fused SpMM operators (gather + normalise + scatter in one matvec) --
@@ -423,19 +464,21 @@ class RelationFusion:
         ``None`` when the active backend has no fused operator."""
         backend = active_backend()
         key = (backend.name, np.dtype(dtype), weighted)
-        if key not in self._collect_ops:
+
+        def build():
             data = (
                 self.norm_for(dtype).reshape(-1)
                 if weighted
                 else np.ones(self.num_edges, dtype=dtype)
             )
-            self._collect_ops[key] = backend.sparse_operator(
+            return backend.sparse_operator(
                 self.dst,
                 self.flat_index("src"),
                 data,
                 (self.num_nodes, self.num_relations * self.num_nodes),
             )
-        return self._collect_ops[key]
+
+        return self._collect_ops.get_or_create(key, build)
 
     def _edge_operator(self, dtype):
         """``[N, E]`` SpMM operator landing per-edge messages on their dst
@@ -443,14 +486,15 @@ class RelationFusion:
         active backend has no fused operator."""
         backend = active_backend()
         key = (backend.name, np.dtype(dtype))
-        if key not in self._edge_ops:
-            self._edge_ops[key] = backend.sparse_operator(
+        return self._edge_ops.get_or_create(
+            key,
+            lambda: backend.sparse_operator(
                 self.dst,
                 np.arange(self.num_edges),
                 self.norm_for(dtype).reshape(-1),
                 (self.num_nodes, self.num_edges),
-            )
-        return self._edge_ops[key]
+            ),
+        )
 
     def collect(self, stacked: Tensor, weighted: bool = False) -> Tensor:
         """Aggregate a stacked ``[R, N, O]`` transform into ``[N, O]``.

@@ -43,8 +43,10 @@ class PNALayer(Module):
         log_deg = np.log1p(ctx.sym_degree).reshape(-1, 1)
         # Average log-degree of the batch anchors the scalers (the PNA
         # paper uses the training-set average; the batch average is the
-        # streaming equivalent and keeps the layer stateless).
-        delta = max(float(log_deg.mean()), 1e-6)
+        # streaming equivalent and keeps the layer stateless). Block
+        # contexts override it with the full-graph average so streamed
+        # and full execution scale identically.
+        delta = ctx.mean_log_degree
         # Scalers follow the node-embedding dtype (float64 log-degree
         # columns would silently promote a float32 forward).
         amplify = Tensor((log_deg / delta).astype(x.dtype, copy=False))

@@ -1,7 +1,22 @@
-"""Graph containers: single graphs, mini-batches, validation."""
+"""Graph containers: single graphs, mini-batches, partitions, validation."""
 
 from repro.graph.data import GraphData
 from repro.graph.batch import Batch
+from repro.graph.partition import (
+    NeighborSampler,
+    PartitionedGraph,
+    SampledNodeDataset,
+    partition_graph,
+)
 from repro.graph.validation import validate_graph, validate_inference_graph
 
-__all__ = ["GraphData", "Batch", "validate_graph", "validate_inference_graph"]
+__all__ = [
+    "GraphData",
+    "Batch",
+    "NeighborSampler",
+    "PartitionedGraph",
+    "SampledNodeDataset",
+    "partition_graph",
+    "validate_graph",
+    "validate_inference_graph",
+]

@@ -11,6 +11,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph.data import GraphData
+from repro.utils.cache import LRUCache
+
+#: Bound on the per-batch context cache. One batch normally serves one
+#: ``num_edge_types`` (a network's edge vocabulary), so 4 distinct keys
+#: is already an unusual session — the LRU is the leak guard for long
+#: streams that batch the same graphs under many vocabularies.
+CONTEXT_CACHE_SIZE = 4
 
 
 class Batch:
@@ -54,12 +61,40 @@ class Batch:
         #: :meth:`repro.gnn.message_passing.GraphContext.from_batch` so a
         #: reused batch (epoch loops, repeated service flushes) pays for
         #: topology precomputation — symmetrisation, GCN norms, scatter
-        #: plans — exactly once.
-        self._context_cache: dict[int, object] = {}
+        #: plans — exactly once. LRU-bounded: contexts hold plans and
+        #: operators, and an unbounded map leaks them over long streams.
+        self._context_cache = LRUCache(CONTEXT_CACHE_SIZE)
+        self._core_index: np.ndarray | None | bool = False
 
     @property
     def num_edges(self) -> int:
         return self.edge_index.shape[1]
+
+    @property
+    def core_index(self) -> np.ndarray | None:
+        """Global row ids of *core* (seed) nodes, or ``None``.
+
+        Sampled subgraphs from :class:`repro.graph.partition.NeighborSampler`
+        order their seed nodes first and record the count in
+        ``meta["sampled_core"]``; losses and metrics must only read those
+        rows — the remaining rows are receptive-field support whose
+        embeddings are biased by the fan-in cap. ``None`` means every row
+        is a real target (no graph in the batch is a sampled subgraph).
+        """
+        if self._core_index is False:
+            counts = [
+                int(g.meta.get("sampled_core", g.num_nodes)) for g in self.graphs
+            ]
+            if all(c == g.num_nodes for c, g in zip(counts, self.graphs)):
+                self._core_index = None
+            else:
+                self._core_index = np.concatenate(
+                    [
+                        np.arange(count, dtype=np.int64) + self.ptr[i]
+                        for i, count in enumerate(counts)
+                    ]
+                )
+        return self._core_index
 
     @property
     def feature_dim(self) -> int:

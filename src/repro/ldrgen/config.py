@@ -79,3 +79,24 @@ class GeneratorConfig:
     @classmethod
     def cdfg(cls, **overrides) -> "GeneratorConfig":
         return cls(mode="cdfg", **overrides)
+
+    @classmethod
+    def cdfg_scaled(cls, target_nodes: int, **overrides) -> "GeneratorConfig":
+        """A CDFG config sized to yield roughly ``target_nodes`` graph nodes.
+
+        The scale knob for large-graph benchmarks (partitioned inference,
+        memory bounds): one generated program carries the whole node
+        budget instead of the default 10-120-node range. Empirically the
+        CDFG extraction yields ~1.2 nodes per statement, so the
+        statement range is pinned at ``target_nodes / 1.2`` and the loop
+        count scales along to keep control flow proportionate. Generated
+        size is stochastic — callers needing a hard floor should
+        overshoot ``target_nodes`` by ~10%.
+        """
+        if target_nodes < 1:
+            raise ValueError("target_nodes must be >= 1")
+        statements = max(int(target_nodes / 1.2), 1)
+        overrides.setdefault("min_statements", statements)
+        overrides.setdefault("max_statements", statements)
+        overrides.setdefault("max_loops", max(statements // 26, 1))
+        return cls(mode="cdfg", **overrides)

@@ -46,6 +46,15 @@ class KnowledgeRichPredictor:
             apply_feature_view(graphs, "rich"), batch_size=batch_size
         )
 
+    def predict_streaming(
+        self, graph: GraphData, *, max_block_nodes: int = 4096, seed: int = 0
+    ) -> np.ndarray:
+        """Bounded-memory single-graph prediction (rich feature view)."""
+        (rich,) = apply_feature_view([graph], "rich")
+        return self._inner.predict_streaming(
+            rich, max_block_nodes=max_block_nodes, seed=seed
+        )
+
     def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
         return self._inner.evaluate(apply_feature_view(graphs, "rich"))
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gnn.network import GraphRegressor
+from repro.gnn.streaming import predict_regressor_streaming, supports_streaming
 from repro.graph.data import GraphData
 from repro.models.base import PredictorConfig
 from repro.training.checkpoint import CheckpointConfig
@@ -69,6 +70,26 @@ class OffTheShelfPredictor:
         if self.model is None:
             raise RuntimeError("predictor is not fitted")
         return predict_regressor(self.model, graphs, batch_size=batch_size)
+
+    def predict_streaming(
+        self, graph: GraphData, *, max_block_nodes: int = 4096, seed: int = 0
+    ) -> np.ndarray:
+        """``[4]`` prediction for one (large) graph in bounded memory.
+
+        Runs the layer-wise block-streaming path
+        (:func:`repro.gnn.streaming.predict_regressor_streaming`): peak
+        memory scales with ``max_block_nodes``, not graph size, and the
+        output matches ``predict([graph])[0]`` within float
+        reassociation tolerance. Architectures that need whole-graph
+        state (U-Net, virtual-node) fall back to the full-graph path.
+        """
+        if self.model is None:
+            raise RuntimeError("predictor is not fitted")
+        if not supports_streaming(self.model.encoder):
+            return self.predict([graph])[0]
+        return predict_regressor_streaming(
+            self.model, graph, max_block_nodes=max_block_nodes, seed=seed
+        )
 
     def evaluate(self, graphs: list[GraphData]) -> np.ndarray:
         if self.model is None:

@@ -34,6 +34,7 @@ from repro.obs.ledger import (
     load_run,
     obs_dir,
 )
+from repro.obs.memory import PEAK_MEMORY_GAUGE, PeakMemory, track_peak_memory
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -61,6 +62,8 @@ __all__ = [
     "MetricsRegistry",
     "OBS_DIR_ENV",
     "P2Quantile",
+    "PEAK_MEMORY_GAUGE",
+    "PeakMemory",
     "RunLedger",
     "SpanStat",
     "Stopwatch",
@@ -80,6 +83,7 @@ __all__ = [
     "set_tracer",
     "throughput_summary",
     "trace",
+    "track_peak_memory",
     "use_registry",
     "use_tracer",
 ]

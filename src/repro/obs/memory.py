@@ -1,0 +1,71 @@
+"""Peak-memory tracking behind the shared metrics registry.
+
+:func:`track_peak_memory` wraps a block with :mod:`tracemalloc` and
+records the block's peak Python allocation as the ``mem.peak_mb`` gauge,
+so bounded-memory claims (partitioned inference, streaming serve) are
+measured with the same instrument everywhere — the benchmark asserting
+the bound, the obs report surfacing it, and ad-hoc experiments.
+
+tracemalloc counts Python-level allocations (numpy buffers included),
+not RSS: it is immune to allocator/OS noise, which makes the
+partitioned-vs-full ratio stable enough to gate in CI. The tracker
+composes with an already-tracing process (tests, nested tracks) by
+resetting the peak instead of stopping the caller's trace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import tracemalloc
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["PeakMemory", "track_peak_memory"]
+
+#: Gauge name the tracker writes (surfaces in ``python -m repro.obs report``).
+PEAK_MEMORY_GAUGE = "mem.peak_mb"
+
+
+class PeakMemory:
+    """Result handle yielded by :func:`track_peak_memory`."""
+
+    __slots__ = ("peak_mb",)
+
+    def __init__(self) -> None:
+        #: Peak traced allocation inside the block, in MiB (NaN until exit).
+        self.peak_mb: float = math.nan
+
+
+@contextlib.contextmanager
+def track_peak_memory(
+    metrics: MetricsRegistry | None = None, *, gauge: str = PEAK_MEMORY_GAUGE
+):
+    """Measure the block's peak Python memory and set the ``gauge``.
+
+    ::
+
+        with track_peak_memory() as mem:
+            predictions = predict_regressor_streaming(model, graph)
+        print(f"peak {mem.peak_mb:.1f} MB")
+
+    The gauge lands in ``metrics`` (the process-global registry by
+    default), so an open :class:`~repro.obs.ledger.RunLedger` snapshots
+    it and the report renders it. If tracemalloc is already tracing,
+    only the peak is reset — the outer trace keeps running.
+    """
+    registry = metrics if metrics is not None else get_registry()
+    result = PeakMemory()
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        yield result
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        if started_here:
+            tracemalloc.stop()
+        result.peak_mb = peak / (1024.0 * 1024.0)
+        registry.set_gauge(gauge, result.peak_mb)

@@ -275,12 +275,15 @@ def render_report(run: dict, top: int = 20) -> str:
     records = run.get("records", [])
     title = header.get("run_id", str(run.get("path", "run")))
     lines = [f"# Run report — `{title}`", ""]
+    metrics = merge_metrics(records)
+    peak_mb = metrics["gauges"].get("mem.peak_mb")
     facts = [
         ("kind", header.get("kind")),
         ("started", header.get("started_at")),
         ("config digest", header.get("config_digest")),
         ("python", header.get("python")),
         ("records", len(records)),
+        ("peak mem (MB)", _fmt(peak_mb, 1) if peak_mb is not None else None),
     ]
     lines.append(
         _md_table(
@@ -289,7 +292,7 @@ def render_report(run: dict, top: int = 20) -> str:
     )
     sections = (
         _span_section(merge_spans(records), top)
-        + _metrics_sections(merge_metrics(records), top)
+        + _metrics_sections(metrics, top)
         + _ops_sections(merge_ops(records), top)
         + _epoch_section(records)
         + _record_sections(records)

@@ -157,6 +157,11 @@ class ServerConfig:
     cache_size: int = 1024
     #: Structurally validate requests at admission.
     validate: bool = True
+    #: Stream graphs with >= this many nodes layer-wise in bounded
+    #: memory instead of batching them (0 disables; see ServiceConfig).
+    stream_nodes: int = 0
+    #: Partition block size for the streaming path.
+    stream_block_nodes: int = 4096
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -613,6 +618,8 @@ class PredictionServer:
                 cache_size=self.config.cache_size,
                 # Admission already validated; don't pay twice per batch.
                 validate=False,
+                stream_nodes=self.config.stream_nodes,
+                stream_block_nodes=self.config.stream_block_nodes,
             ),
             metrics=self.metrics,
         )

@@ -44,12 +44,24 @@ class ServiceConfig:
     cache_size: int = 1024
     #: Structurally validate every incoming graph (service boundary).
     validate: bool = True
+    #: Graphs with at least this many nodes are evaluated one at a time
+    #: through the predictor's bounded-memory ``predict_streaming`` path
+    #: (layer-wise over partition blocks) instead of the fused batch.
+    #: 0 disables streaming. Predictors without ``predict_streaming``
+    #: always take the batched path.
+    stream_nodes: int = 0
+    #: Partition block size for the streaming path.
+    stream_block_nodes: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if self.stream_nodes < 0:
+            raise ValueError("stream_nodes must be >= 0")
+        if self.stream_block_nodes < 1:
+            raise ValueError("stream_block_nodes must be >= 1")
 
 
 #: Counter names under the ``serve.`` metrics namespace, in report order.
@@ -64,6 +76,7 @@ _STAT_FIELDS = (
     "flushes",
     "model_graphs",
     "bulk_calls",
+    "streamed",
 )
 
 
@@ -229,6 +242,14 @@ class PredictionService:
                 "with_hls_resources=True))"
             )
 
+    def _should_stream(self, graph: GraphData) -> bool:
+        """Route large graphs through the bounded-memory streaming path."""
+        return (
+            self.config.stream_nodes > 0
+            and graph.num_nodes >= self.config.stream_nodes
+            and getattr(self.predictor, "predict_streaming", None) is not None
+        )
+
     def submit(
         self, graph: GraphData, fingerprint: str | None = None
     ) -> PendingPrediction:
@@ -275,6 +296,10 @@ class PredictionService:
         in-flight table, so later submissions of the same graphs get
         fresh evaluations instead of coalescing onto dead entries. The
         first chunk failure is re-raised once the whole flush completes.
+
+        Graphs at or above ``config.stream_nodes`` bypass the fused
+        batch: each runs alone through the predictor's bounded-memory
+        ``predict_streaming`` path (errors isolated per graph).
         """
         pending, self._pending = self._pending, []
         if not pending:
@@ -282,9 +307,29 @@ class PredictionService:
         self._count["flushes"].inc()
         size = self.config.max_batch_size
         first_error: BaseException | None = None
+        streamed = [e for e in pending if self._should_stream(e.graph)]
+        batched = [e for e in pending if not self._should_stream(e.graph)]
         try:
-            for start in range(0, len(pending), size):
-                chunk = pending[start : start + size]
+            for entry in streamed:
+                try:
+                    fault_point("serve.flush")
+                    entry_start = time.perf_counter()
+                    row = self.predictor.predict_streaming(
+                        entry.graph,
+                        max_block_nodes=self.config.stream_block_nodes,
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolate the entry
+                    entry.error = exc
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                self._request_latency.observe(time.perf_counter() - entry_start)
+                self._count["streamed"].inc()
+                self._count["model_graphs"].inc()
+                entry.value = np.asarray(row, dtype=np.float64)
+                self._cache_put(entry.fingerprint, entry.value)
+            for start in range(0, len(batched), size):
+                chunk = batched[start : start + size]
                 try:
                     fault_point("serve.flush")
                     # max_batch_size governs the fused model batch end to

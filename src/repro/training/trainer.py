@@ -49,7 +49,7 @@ from repro.graph.batch import Batch, batch_schedule
 from repro.graph.data import GraphData
 from repro.obs import active_ledger, get_registry
 from repro.optim import Adam, clip_grad_norm
-from repro.tensor import Tensor, get_default_dtype, no_grad
+from repro.tensor import Tensor, gather_rows, get_default_dtype, no_grad
 from repro.training.checkpoint import (
     CheckpointConfig,
     CheckpointManager,
@@ -104,6 +104,11 @@ class BatchStream:
     at construction; every iteration replays it. In-memory sources
     prebuild their batches, streaming sources rebuild them lazily per
     pass — see the module docstring for why both yield identical runs.
+
+    :class:`~repro.graph.partition.SampledNodeDataset` is a streaming
+    source too — its ``gather`` resamples neighbor-capped subgraphs on
+    demand (bitwise-reproducibly per sampler seed), which is the
+    sampled-subgraph training mode for graphs too large to batch whole.
     """
 
     def __init__(
@@ -510,10 +515,25 @@ def predict_node_logits(
 def _evaluate_node_classifier_batches(
     model: NodeClassifier, batches: Iterable[Batch]
 ) -> np.ndarray:
-    logits, labels = _forward_batches(
-        model, batches, lambda data: data, _require_node_labels
+    """Accuracy over target rows only: sampled-subgraph batches
+    (``batch.core_index`` non-None) score their seed nodes and skip the
+    receptive-field support rows, whose embeddings are fan-in biased."""
+    was_training = model.training
+    model.eval()
+    logit_parts, label_parts = [], []
+    with no_grad():
+        for batch in batches:
+            logits = model(batch).data
+            labels = _require_node_labels(batch)
+            core = batch.core_index
+            if core is not None:
+                logits, labels = logits[core], labels[core]
+            logit_parts.append(logits)
+            label_parts.append(labels)
+    model.train(was_training)
+    return binary_accuracy(
+        np.concatenate(logit_parts, axis=0), np.concatenate(label_parts, axis=0)
     )
-    return binary_accuracy(logits, labels)
 
 
 def evaluate_node_classifier(
@@ -539,7 +559,26 @@ def train_node_classifier(
     checkpoint: CheckpointConfig | None = None,
     resume: bool | str | Path = False,
 ) -> TrainResult:
-    """Fit the node-level resource-type classifier (3 binary tasks)."""
+    """Fit the node-level resource-type classifier (3 binary tasks).
+
+    ``train_graphs``/``val_graphs`` may also be a
+    :class:`~repro.graph.partition.SampledNodeDataset` — the
+    sampled-subgraph mode for graphs too large to batch whole. Its
+    elements are rebuilt lazily per epoch (``streaming = True``) and the
+    loss/metrics are masked to each subgraph's seed nodes via
+    ``batch.core_index``; the sampler's per-node seeding keeps the loss
+    curve deterministic per seed.
+    """
+
+    def node_loss(batch: Batch) -> Tensor:
+        logits = model(batch)
+        labels = _label_matrix(batch)
+        core = batch.core_index
+        if core is not None:
+            logits = gather_rows(logits, core)
+            labels = labels[core]
+        return bce_with_logits(logits, Tensor(labels))
+
     return _fit(
         model,
         train_graphs,
@@ -547,10 +586,10 @@ def train_node_classifier(
         config,
         checkpoint=checkpoint,
         resume=resume,
-        batch_loss=lambda batch: bce_with_logits(
-            model(batch), Tensor(_label_matrix(batch))
+        batch_loss=node_loss,
+        batch_weight=lambda batch: (
+            batch.num_nodes if batch.core_index is None else len(batch.core_index)
         ),
-        batch_weight=lambda batch: batch.num_nodes,
         validate=lambda batches: float(
             np.mean(evaluate_node_classifier(model, val_graphs, batches=batches))
         ),

@@ -1,6 +1,7 @@
 """Shared utilities: seeded randomness, table rendering, serialisation."""
 
+from repro.utils.cache import LRUCache
 from repro.utils.rng import default_rng, fork_rng, seed_all
 from repro.utils.tables import format_table
 
-__all__ = ["default_rng", "fork_rng", "seed_all", "format_table"]
+__all__ = ["LRUCache", "default_rng", "fork_rng", "seed_all", "format_table"]

@@ -1,0 +1,86 @@
+"""Small bounded caches.
+
+Long streaming sessions touch many graphs and many partition blocks; the
+plan/context caches they populate must not grow with the stream length.
+:class:`LRUCache` is the one eviction policy used across the repo — a
+plain ``OrderedDict`` with move-to-front on hit and drop-oldest on
+overflow, no threads, no TTLs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from typing import TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping bounded to ``maxsize`` entries."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __getitem__(self, key):
+        """Dict-style read (counts as a use for eviction ordering)."""
+        value = self._data[key]
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self):
+        return self._data.items()
+
+    def get(self, key, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_create(self, key, factory: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, building it on a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -331,7 +331,7 @@ class TestServiceStats:
         assert set(payload) == {
             "requests", "cache_hits", "cache_misses", "coalesced",
             "rejected", "evictions", "batches", "flushes",
-            "model_graphs", "bulk_calls",
+            "model_graphs", "bulk_calls", "streamed",
         }
         json.dumps(payload)
 
